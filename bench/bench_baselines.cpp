@@ -1,0 +1,180 @@
+// E7 "baseline comparison" — related-work framing (§1).
+//
+// Plain backoff schemes (binary exponential, polynomial, sawtooth) are known
+// not to deliver constant throughput on batch arrivals; the CJZ algorithm
+// does (up to its f factor). We race them on an n-node batch with no
+// jamming and report the median completion time (capped at the horizon) and
+// the fraction delivered within 32n slots.
+//
+// Flags: --reps=N (default 7), --max_n (default 512), --quick
+#include <iostream>
+#include <memory>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "engine/fast_batch.hpp"
+#include "engine/fast_cjz.hpp"
+#include "engine/generic_sim.hpp"
+#include "exp/harness.hpp"
+#include "exp/scenarios.hpp"
+#include "metrics/metrics.hpp"
+#include "protocols/baselines.hpp"
+#include "protocols/batch.hpp"
+
+using namespace cr;
+
+namespace {
+
+struct Outcome {
+  double median_completion;
+  double frac_by_32n;
+  bool capped;
+};
+
+Outcome race(const char* which, std::uint64_t n, int reps, std::uint64_t base_seed) {
+  Quantiles completion;
+  Accumulator frac;
+  bool capped = false;
+  for (int r = 0; r < reps; ++r) {
+    ComposedAdversary adv(batch_arrival(n, 1), no_jam());
+    SimConfig cfg;
+    cfg.horizon = 4000 * n;
+    cfg.seed = base_seed + static_cast<std::uint64_t>(r);
+    cfg.stop_when_empty = true;
+    cfg.record_success_times = true;
+    SimResult res;
+    const std::string name = which;
+    if (name == "cjz") {
+      res = run_fast_cjz(functions_constant_g(4.0), adv, cfg);
+    } else if (name == "h_data") {
+      res = run_fast_batch(profiles::h_data(), adv, cfg);
+    } else {
+      WindowedBackoffOptions opts;
+      if (name == "beb") opts.scheme = WindowScheme::kBinaryExponential;
+      if (name == "poly") {
+        opts.scheme = WindowScheme::kPolynomial;
+        opts.poly_exponent = 2.0;
+      }
+      if (name == "sawtooth") opts.scheme = WindowScheme::kSawtooth;
+      auto factory = windowed_backoff_factory(opts);
+      res = run_generic(*factory, adv, cfg);
+    }
+    if (res.live_at_end != 0) capped = true;
+    completion.add(static_cast<double>(res.live_at_end == 0 ? res.last_success : res.slots));
+    frac.add(static_cast<double>(successes_in_window(res, 1, 32 * n)) /
+             static_cast<double>(n));
+  }
+  return {completion.median(), frac.mean(), capped};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int reps = static_cast<int>(cli.get_int("reps", quick ? 3 : 7));
+  const std::uint64_t max_n = static_cast<std::uint64_t>(cli.get_int("max_n", quick ? 256 : 512));
+
+  std::cout << "E7: CJZ vs classical backoff baselines on an n-node batch (no jamming)\n"
+            << "median completion (slots; '>' = some runs hit the horizon cap) and\n"
+            << "fraction delivered within 32n slots.\n\n";
+
+  Table table({"n", "protocol", "median completion", "completion/n", "frac by 32n"});
+  for (std::uint64_t n = 64; n <= max_n; n <<= 1) {
+    for (const char* which : {"cjz", "beb", "sawtooth", "poly", "h_data"}) {
+      const Outcome o = race(which, n, reps, 61000);
+      const std::string med = (o.capped ? ">" : "") + format_double(o.median_completion, 0);
+      table.add_row({Cell(n), which, med,
+                     Cell(o.median_completion / static_cast<double>(n), 1),
+                     Cell(o.frac_by_32n, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: on a clean batch the windowed schemes and CJZ are all ~n·polylog\n"
+               "(constants differ); the probability-profile BEB (h_data) collapses. The\n"
+               "structural separations show under dynamic arrivals and jamming:\n\n";
+
+  // E7b: sustained arrival stream, moderate and overload rates.
+  std::cout << "E7b: Bernoulli arrival stream for t slots, no jamming\n\n";
+  Table t2({"t", "rate", "protocol", "arrivals", "served", "backlog at end"});
+  const slot_t t = quick ? (1 << 15) : (1 << 17);
+  for (const double rate : {0.1, 0.45}) {
+  for (const char* which : {"cjz", "beb", "sawtooth", "poly"}) {
+    Accumulator served, backlog, arrivals;
+    for (int r = 0; r < reps; ++r) {
+      ComposedAdversary adv(bernoulli_arrivals(rate, 1, t), no_jam());
+      SimConfig cfg;
+      cfg.horizon = t;
+      cfg.seed = 66000 + static_cast<std::uint64_t>(r);
+      SimResult res;
+      const std::string name = which;
+      if (name == "cjz") {
+        res = run_fast_cjz(functions_constant_g(4.0), adv, cfg);
+      } else {
+        WindowedBackoffOptions opts;
+        if (name == "poly") {
+          opts.scheme = WindowScheme::kPolynomial;
+          opts.poly_exponent = 2.0;
+        }
+        if (name == "sawtooth") opts.scheme = WindowScheme::kSawtooth;
+        auto factory = windowed_backoff_factory(opts);
+        res = run_generic(*factory, adv, cfg);
+      }
+      arrivals.add(static_cast<double>(res.arrivals));
+      served.add(res.arrivals ? static_cast<double>(res.successes) /
+                                    static_cast<double>(res.arrivals)
+                              : 1.0);
+      backlog.add(static_cast<double>(res.live_at_end));
+    }
+    t2.add_row({Cell(static_cast<std::uint64_t>(t)), Cell(rate, 2), which,
+                Cell(arrivals.mean(), 0), Cell(served.mean(), 3), mean_sd(backlog, 1)});
+  }
+  }
+  t2.print(std::cout);
+
+  // E7c: batch under 25% jamming.
+  std::cout << "\nE7c: batch of n under 25% i.i.d. jamming — fraction delivered by 64n\n\n";
+  Table t3({"n", "protocol", "frac by 64n"});
+  const std::uint64_t nj = quick ? 128 : 256;
+  for (const char* which : {"cjz", "beb", "sawtooth", "poly", "h_data"}) {
+    Accumulator frac;
+    for (int r = 0; r < reps; ++r) {
+      ComposedAdversary adv(batch_arrival(nj, 1), iid_jammer(0.25));
+      SimConfig cfg;
+      cfg.horizon = 64 * nj;
+      cfg.seed = 67000 + static_cast<std::uint64_t>(r);
+      SimResult res;
+      const std::string name = which;
+      if (name == "cjz") {
+        res = run_fast_cjz(functions_constant_g(4.0), adv, cfg);
+      } else if (name == "h_data") {
+        res = run_fast_batch(profiles::h_data(), adv, cfg);
+      } else {
+        WindowedBackoffOptions opts;
+        if (name == "poly") {
+          opts.scheme = WindowScheme::kPolynomial;
+          opts.poly_exponent = 2.0;
+        }
+        if (name == "sawtooth") opts.scheme = WindowScheme::kSawtooth;
+        auto factory = windowed_backoff_factory(opts);
+        res = run_generic(*factory, adv, cfg);
+      }
+      frac.add(static_cast<double>(res.successes) / static_cast<double>(nj));
+    }
+    t3.add_row({Cell(nj), which, mean_sd(frac, 3)});
+  }
+  t3.print(std::cout);
+
+  std::cout << "\nReading (honest): on benign workloads — clean batches, Bernoulli streams,\n"
+               "even i.i.d. jamming — the windowed schemes are competitive with CJZ (their\n"
+               "constants are smaller; CJZ pays its f = Theta(log) overhead). The paper's\n"
+               "separations are adversarial: the probability-profile BEB collapses on\n"
+               "batches (E3/Claim 3.5.1), and every windowed scheme is a non-adaptive\n"
+               "sequence in Theorem 4.2's sense, losing to h-backoff under prefix jamming\n"
+               "(see bench_nonadaptive). CJZ is the only contender with worst-case\n"
+               "guarantees across all of these at once.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E3 "batch completion" — Claim 3.5.1.
+//
+// h_data-batch (send w.p. 1/i in slot i — the standard implementation of
+// binary exponential backoff) CANNOT deliver all n batch messages in O(n)
+// slots w.h.p.; the CJZ algorithm finishes the same batch in Θ(n·f(n))
+// slots (n·log n for g = const).
+//
+// Two measurements:
+//   (a) P[all n delivered within c·n slots] for c ∈ {50, 200}: for h_data
+//       this probability collapses toward 0 as n grows (that IS the claim);
+//       for CJZ it is ~1 throughout.
+//   (b) median slots to deliver 90% of the batch — a concentrated statistic
+//       (the all-n completion time has a truncated-Pareto tail driven by
+//       the lone-survivor phase, so its mean/median are very noisy).
+//
+// Flags: --reps=N (default 20), --max_n (default 4096), --quick
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "engine/fast_batch.hpp"
+#include "engine/fast_cjz.hpp"
+#include "exp/scenarios.hpp"
+#include "metrics/metrics.hpp"
+#include "protocols/batch.hpp"
+
+using namespace cr;
+
+namespace {
+
+struct BatchStats {
+  double p_done_by_50n = 0;
+  double p_done_by_200n = 0;
+  double median_90pct = 0;  ///< median slot of the ceil(0.9n)-th success
+};
+
+BatchStats measure(bool cjz, std::uint64_t n, int reps, std::uint64_t base_seed) {
+  BatchStats out;
+  Quantiles q90;
+  int done50 = 0, done200 = 0;
+  for (int r = 0; r < reps; ++r) {
+    ComposedAdversary adv(batch_arrival(n, 1), no_jam());
+    SimConfig cfg;
+    cfg.horizon = 400 * n;
+    cfg.seed = base_seed + static_cast<std::uint64_t>(r);
+    cfg.record_success_times = true;
+    const SimResult res = cjz ? run_fast_cjz(functions_constant_g(4.0), adv, cfg)
+                              : run_fast_batch(profiles::h_data(), adv, cfg);
+    const std::uint64_t target90 = (9 * n + 9) / 10;
+    if (res.success_times.size() >= target90)
+      q90.add(static_cast<double>(res.success_times[target90 - 1]));
+    else
+      q90.add(static_cast<double>(cfg.horizon));  // censored
+    if (successes_in_window(res, 1, 50 * n) == n) ++done50;
+    if (successes_in_window(res, 1, 200 * n) == n) ++done200;
+  }
+  out.p_done_by_50n = static_cast<double>(done50) / reps;
+  out.p_done_by_200n = static_cast<double>(done200) / reps;
+  out.median_90pct = q90.median();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int reps = static_cast<int>(cli.get_int("reps", quick ? 8 : 20));
+  const std::uint64_t max_n = static_cast<std::uint64_t>(cli.get_int("max_n", quick ? 1024 : 4096));
+
+  std::cout << "E3 (Claim 3.5.1): delivering ALL n batch messages\n"
+            << "Prediction: P[h_data-batch finishes within c*n slots] -> 0 as n grows\n"
+            << "(omega(n) completion w.h.p.), while CJZ finishes in Theta(n log n).\n\n";
+
+  Table table({"n", "protocol", "P[done<=50n]", "P[done<=200n]", "median slots to 90%",
+               "90% slots /n"});
+  std::vector<double> log_n, log_cjz90;
+  for (std::uint64_t n = 128; n <= max_n; n <<= 1) {
+    const BatchStats h = measure(false, n, reps, 21000);
+    const BatchStats c = measure(true, n, reps, 22000);
+    table.add_row({Cell(n), "h_data", Cell(h.p_done_by_50n, 2), Cell(h.p_done_by_200n, 2),
+                   Cell(h.median_90pct, 0), Cell(h.median_90pct / static_cast<double>(n), 1)});
+    table.add_row({Cell(n), "cjz", Cell(c.p_done_by_50n, 2), Cell(c.p_done_by_200n, 2),
+                   Cell(c.median_90pct, 0), Cell(c.median_90pct / static_cast<double>(n), 1)});
+    log_n.push_back(std::log2(static_cast<double>(n)));
+    log_cjz90.push_back(std::log2(c.median_90pct));
+  }
+  table.print(std::cout);
+
+  const LinearFit fit_c = fit_linear(log_n, log_cjz90);
+  std::cout << "\nCJZ 90%-completion log-log slope = " << format_double(fit_c.slope, 2)
+            << " (R2=" << format_double(fit_c.r2, 3) << ", ~1 expected: linear in n)\n"
+            << "Reading: h_data's probability of finishing everything within a fixed\n"
+               "multiple of n collapses as n grows — exactly Claim 3.5.1 — while CJZ\n"
+               "finishes every time with near-linear scaling.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E9 "latency under smooth adversaries" — Corollary 3.6.
+//
+// Under a "smooth" adversary (arrivals O(j/f(j)) and jamming O(j/g(j)) in
+// every suffix window of length j), every node arriving before slot t−j has
+// departed by slot t w.h.p. in j. Operationally: latency tails are bounded
+// by j ≈ latency·f-factor, and the maximum latency grows slowly with the
+// run length.
+//
+// A trickle of single arrivals would make latency trivially 1 (a lone
+// node's stage-0 backoff wins its arrival slot), so we use the burstiest
+// arrival pattern that still satisfies the smooth budget: batches of B
+// nodes every ceil(16·B·f(t)) slots, with budget-paced jamming on top. The
+// interesting quantity is how the latency tail scales with B and with the
+// g regime.
+//
+// Flags: --reps=N (default 10), --max_exp (default 18), --quick
+#include <cmath>
+#include <iostream>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "engine/fast_cjz.hpp"
+#include "exp/scenarios.hpp"
+#include "metrics/metrics.hpp"
+
+using namespace cr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int reps = static_cast<int>(cli.get_int("reps", quick ? 4 : 10));
+  const int max_exp = static_cast<int>(cli.get_int("max_exp", quick ? 16 : 18));
+
+  std::cout << "E9 (Corollary 3.6): node latency under smooth adversaries\n"
+            << "Paced arrivals 1/(8f), budget jamming 1/(8g). Latency = slots in system.\n\n";
+
+  Table table({"g regime", "t", "burst B", "departed", "stranded", "lat p50", "lat p99",
+               "lat max", "p99/(B f)"});
+  struct Regime {
+    const char* label;
+    FunctionSet fs;
+  } regimes[] = {
+      {"const(4)", functions_constant_g(4.0)},
+      {"log2(x)", functions_log_g()},
+      {"2^sqrt(log)", functions_exp_sqrt_log_g(1.0)},
+  };
+  const slot_t t = static_cast<slot_t>(1) << max_exp;
+  for (const auto& regime : regimes) {
+    for (const std::uint64_t burst : {16ull, 64ull, 256ull}) {
+      const double ft = regime.fs.f(static_cast<double>(t));
+      const auto period =
+          static_cast<slot_t>(std::max(1.0, std::ceil(16.0 * static_cast<double>(burst) * ft)));
+      Accumulator departed, stranded, p50, p99, maxv;
+      for (int r = 0; r < reps; ++r) {
+        ComposedAdversary adv(bursty_arrivals(period, burst),
+                              budget_paced_jammer(regime.fs.g, 8.0));
+        SimConfig cfg;
+        cfg.horizon = t;
+        cfg.seed = 81000 + static_cast<std::uint64_t>(r);
+        cfg.record_node_stats = true;
+        const SimResult res = run_fast_cjz(regime.fs, adv, cfg);
+        const LatencyReport rep = latency_report(res);
+        departed.add(static_cast<double>(rep.departed));
+        stranded.add(static_cast<double>(rep.stranded));
+        p50.add(rep.p50);
+        p99.add(rep.p99);
+        maxv.add(rep.max);
+      }
+      table.add_row({regime.label, Cell(static_cast<std::uint64_t>(t)), Cell(burst),
+                     Cell(departed.mean(), 0), Cell(stranded.mean(), 1), Cell(p50.mean(), 0),
+                     Cell(p99.mean(), 0), Cell(maxv.mean(), 0),
+                     Cell(p99.mean() / (static_cast<double>(burst) * ft), 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: p99 latency scales like burst·f (the last column is a roughly\n"
+               "constant service factor), stranded counts stay ~one burst — every node that\n"
+               "arrived before the tail window departs, as Corollary 3.6 predicts for\n"
+               "smooth adversaries.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// E5 "non-adaptive fails" — Theorem 4.2.
+//
+// A protocol that broadcasts with a PRE-DEFINED probability a_i in its i-th
+// slot (until the first heard success) cannot achieve optimal throughput
+// under jamming. The constructive half: jam a prefix of t/(4·g(t)) slots.
+// A decaying non-adaptive sequence (1/i — exponential backoff's profile) has
+// already wasted its high-probability slots inside the jammed prefix and
+// then needs ~another prefix-length to recover; the paper's adaptive
+// backoff subroutine re-draws h(2^k) send slots per stage, so it recovers
+// within a constant number of stages.
+//
+// We inject a single node at slot 1, jam [1, t/16], and measure the time to
+// first success beyond the prefix ("excess") and the number of broadcasts.
+//
+// Flags: --reps=N (default 20), --max_exp (default 18), --quick
+#include <iostream>
+#include <memory>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "engine/fast_batch.hpp"
+#include "engine/generic_sim.hpp"
+#include "exp/harness.hpp"
+#include "exp/scenarios.hpp"
+#include "protocols/baselines.hpp"
+#include "protocols/batch.hpp"
+
+using namespace cr;
+
+namespace {
+
+struct Contender {
+  const char* label;
+  std::unique_ptr<ProtocolFactory> factory;
+};
+
+void measure(ProtocolFactory& factory, const char* label, slot_t t, int reps, Table& table) {
+  const slot_t prefix = t / 16;
+  Accumulator time_acc, excess_acc, sends_acc, solved;
+  for (int r = 0; r < reps; ++r) {
+    ComposedAdversary adv(batch_arrival(1, 1), prefix_jammer(prefix));
+    SimConfig cfg;
+    cfg.horizon = t;
+    cfg.seed = 41000 + static_cast<std::uint64_t>(r);
+    cfg.stop_when_empty = true;
+    const SimResult res = run_generic(factory, adv, cfg);
+    const double first =
+        static_cast<double>(res.first_success == 0 ? t : res.first_success);
+    time_acc.add(first);
+    excess_acc.add(first - static_cast<double>(prefix));
+    sends_acc.add(static_cast<double>(res.total_sends));
+    solved.add(res.first_success != 0 ? 1.0 : 0.0);
+  }
+  table.add_row({Cell(static_cast<std::uint64_t>(t)), label,
+                 Cell(static_cast<std::uint64_t>(prefix)), Cell(time_acc.mean(), 0),
+                 mean_sd(excess_acc, 0), mean_sd(sends_acc, 1), Cell(solved.mean(), 2)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int reps = static_cast<int>(cli.get_int("reps", quick ? 8 : 20));
+  const int max_exp = static_cast<int>(cli.get_int("max_exp", quick ? 16 : 18));
+
+  std::cout << "E5 (Theorem 4.2): adaptive backoff vs non-adaptive sequences under prefix jam\n"
+            << "Single node, slots [1, t/16] jammed. 'excess' = first success - prefix.\n\n";
+
+  Table table({"t", "protocol", "jam prefix", "first succ", "excess", "sends", "solved"});
+  for (int e = 14; e <= max_exp; e += 2) {
+    const slot_t t = static_cast<slot_t>(1) << e;
+    auto adaptive = backoff_protocol_factory(functions_constant_g(4.0));
+    auto beb = windowed_backoff_factory({});
+    ProfileProtocolFactory decay_1k(profiles::h_data());
+    ProfileProtocolFactory decay_slow(profiles::poly_decay(1.0, 0.75));
+    measure(*adaptive, "h-backoff (adaptive)", t, reps, table);
+    measure(decay_1k, "non-adaptive 1/k", t, reps, table);
+    measure(decay_slow, "non-adaptive 1/k^0.75", t, reps, table);
+    measure(*beb, "windowed BEB", t, reps, table);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the adaptive subroutine's excess is a small fraction of the\n"
+               "prefix; the 1/k sequence (already decayed) pays ~a full extra prefix.\n"
+               "The slower 1/k^0.75 sequence survives jamming — but see the second horn:\n\n";
+
+  // Horn 2 of the dilemma: a batch of n nodes injected simultaneously.
+  // A sequence that decays slowly enough to survive jamming keeps contention
+  // n·k^{-3/4} >> 1 for ~n^{4/3} slots: the first success is superlinearly
+  // delayed. The adaptive backoff and the 1/k profile handle this fine.
+  std::cout << "E5b (dilemma, second horn): first success after a batch of n nodes, no jam\n"
+            << "(profiles measured at large n with the cohort engine; the drift is\n"
+            << " ~n^(1/3)/log^(4/3)(n) in the /n column, so it needs big n to show)\n\n";
+  Table t2({"n", "protocol", "first succ p50", "first succ /n", "solved"});
+  const std::uint64_t max_n = quick ? (1 << 15) : (1 << 18);
+  for (std::uint64_t n = 1 << 12; n <= max_n; n <<= (quick ? 1 : 2)) {
+    struct Cand {
+      const char* label;
+      const SendProfile* profile;  // nullptr = adaptive backoff (generic engine)
+    };
+    const SendProfile p_1k = profiles::h_data();
+    const SendProfile p_slow = profiles::poly_decay(1.0, 0.75);
+    auto adaptive = backoff_protocol_factory(functions_constant_g(4.0));
+    for (const Cand& cand : {Cand{"h-backoff (adaptive)", nullptr},
+                             Cand{"non-adaptive 1/k", &p_1k},
+                             Cand{"non-adaptive 1/k^0.75", &p_slow}}) {
+      // The adaptive contender needs the O(live·slots) generic engine; its
+      // ~linear first-success scaling is established by moderate n, so cap
+      // it there rather than burn minutes on the largest sizes.
+      if (cand.profile == nullptr && n > 8192) {
+        t2.add_row({Cell(n), cand.label, "-", "-", "-"});
+        continue;
+      }
+      Quantiles first;
+      Accumulator solved;
+      for (int r = 0; r < reps; ++r) {
+        ComposedAdversary adv(batch_arrival(n, 1), no_jam());
+        SimConfig cfg;
+        cfg.horizon = 64 * n;
+        cfg.seed = 43000 + static_cast<std::uint64_t>(r);
+        cfg.stop_after_first_success = true;
+        SimResult res;
+        if (cand.profile != nullptr) {
+          res = run_fast_batch(*cand.profile, adv, cfg);
+        } else {
+          cfg.horizon = 8 * n;  // generic engine; first success is early
+          res = run_generic(*adaptive, adv, cfg);
+        }
+        first.add(static_cast<double>(res.first_success == 0 ? cfg.horizon
+                                                             : res.first_success));
+        solved.add(res.first_success != 0 ? 1.0 : 0.0);
+      }
+      t2.add_row({Cell(n), cand.label, Cell(first.quantile(0.5), 0),
+                  Cell(first.quantile(0.5) / static_cast<double>(n), 2),
+                  Cell(solved.mean(), 2)});
+    }
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nReading: 1/k^0.75's first-success/n grows with n (superlinear delay from\n"
+               "excess contention) while 1/k and the adaptive backoff stay ~linear. No\n"
+               "fixed sequence wins both tables simultaneously — Theorem 4.2's dilemma;\n"
+               "only the adaptive backoff subroutine is good in both.\n";
+  return 0;
+}

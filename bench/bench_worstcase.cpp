@@ -1,0 +1,67 @@
+// E2 "worst-case throughput" — introduction headline claim.
+//
+// With a constant fraction of all slots jammed (the asymptotically worst
+// jamming an algorithm can survive), the paper proves the best possible
+// throughput is Θ(1/log t) — and the CJZ algorithm attains it: Θ(t/log t)
+// successful transmissions within t slots.
+//
+// We sweep arrival pressure (paced arrivals n_t ≈ t/(margin·f(t))): at
+// margin 4 the system is underloaded and serves everything; at margin 1 it
+// runs at the theoretical capacity; at margin 0.5 it is overloaded and the
+// success count exposes the Θ(t/log t) ceiling. The normalized column
+// successes·log2(t)/t should be flat in t and capped by a constant.
+//
+// Flags: --reps=N (default 10), --max_exp=E (default 21), --quick
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "engine/fast_cjz.hpp"
+#include "exp/harness.hpp"
+#include "exp/scenarios.hpp"
+
+using namespace cr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int reps = static_cast<int>(cli.get_int("reps", quick ? 3 : 6));
+  const int max_exp = static_cast<int>(cli.get_int("max_exp", quick ? 17 : 20));
+
+  std::cout << "E2: worst-case throughput under constant-fraction jamming\n"
+            << "Prediction: successes*log2(t)/t flat in t and capped by a constant\n"
+            << "(Theta(t/log t) messages in t slots is the best possible and is attained).\n\n";
+
+  Table table({"jam rate", "arrival margin", "t", "arrivals", "successes", "served",
+               "succ*log2(t)/t"});
+  for (const double jam : {0.0, 0.25, 0.4}) {
+    for (const double margin : {4.0, 1.0, 0.5}) {
+      for (int e = 14; e <= max_exp; e += (quick ? 3 : 2)) {
+        const slot_t t = static_cast<slot_t>(1) << e;
+        Accumulator arr, succ, served, norm;
+        for (int r = 0; r < reps; ++r) {
+          Scenario sc = worst_case_scenario(t, jam, margin, 0);
+          sc.config.seed = 11000 + static_cast<std::uint64_t>(r);
+          const SimResult res = run_fast_cjz(sc.fs, *sc.adversary, sc.config);
+          arr.add(static_cast<double>(res.arrivals));
+          succ.add(static_cast<double>(res.successes));
+          served.add(res.arrivals ? static_cast<double>(res.successes) /
+                                        static_cast<double>(res.arrivals)
+                                  : 1.0);
+          norm.add(static_cast<double>(res.successes) * std::log2(static_cast<double>(t)) /
+                   static_cast<double>(t));
+        }
+        table.add_row({Cell(jam, 2), Cell(margin, 2), Cell(static_cast<std::uint64_t>(t)),
+                       Cell(arr.mean(), 0), Cell(succ.mean(), 0), Cell(served.mean(), 3),
+                       mean_sd(norm, 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: down each (jam, margin) block the normalized column is flat in t;\n"
+               "across margins it saturates at a constant ceiling — goodput Theta(t/log t),\n"
+               "even when 40% of all slots are jammed.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Scenario: an escalating jamming attack.
+//
+// An attacker ramps its jamming duty cycle from 0% to 40% against a cell
+// serving a steady stream of stations. The paper's trade-off says: an
+// algorithm configured for constant-fraction tolerance (g = const) keeps a
+// Θ(1/log t) goodput no matter what the attacker does with its budget —
+// including *adaptive* strategies that target the slots right after each
+// success (trying to break the algorithm's synchronization).
+//
+// Run:   ./build/examples/jamming_attack [--slots=131072]
+#include <iostream>
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "engine/fast_cjz.hpp"
+#include "exp/scenarios.hpp"
+#include "metrics/throughput_check.hpp"
+
+namespace {
+
+/// Duty-cycle jammer that doubles its intensity in each quarter of the run.
+class EscalatingJammer final : public cr::Jammer {
+ public:
+  EscalatingJammer(cr::slot_t horizon, double peak) : horizon_(horizon), peak_(peak) {}
+
+  bool jams(cr::slot_t slot, const cr::PublicHistory&, cr::Rng& rng) override {
+    const double phase = static_cast<double>(slot) / static_cast<double>(horizon_);
+    const double rate = peak_ * (phase < 0.25 ? 0.0 : phase < 0.5 ? 0.25 : phase < 0.75 ? 0.5 : 1.0);
+    return rng.bernoulli(rate);
+  }
+  std::string name() const override { return "escalating"; }
+
+ private:
+  cr::slot_t horizon_;
+  double peak_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cr::Cli cli(argc, argv);
+  const auto slots = static_cast<cr::slot_t>(cli.get_int("slots", 131072));
+
+  const cr::FunctionSet fs = cr::functions_constant_g(4.0);
+
+  std::cout << "jamming_attack: stations arrive paced at 1/(6 f(t)); the attacker\n"
+            << "escalates 0% -> 10% -> 20% -> 40% duty cycle across the run, or jams\n"
+            << "reactively right after every success.\n\n";
+
+  cr::Table table({"attack", "arrivals", "delivered", "served", "jammed slots",
+                   "(f,g) ratio max"});
+
+  struct Attack {
+    const char* label;
+    std::unique_ptr<cr::Jammer> jammer;
+  };
+  Attack attacks[3];
+  attacks[0] = {"none", cr::no_jam()};
+  attacks[1] = {"escalating to 40%", std::make_unique<EscalatingJammer>(slots, 0.4)};
+  attacks[2] = {"reactive (post-success bursts)", cr::reactive_jammer(fs.g, 2.0, 2)};
+
+  for (auto& attack : attacks) {
+    cr::ComposedAdversary adv(cr::paced_arrivals(fs, 6.0), std::move(attack.jammer));
+    cr::SimConfig cfg;
+    cfg.horizon = slots;
+    cfg.seed = 13;
+    cr::ThroughputChecker checker(fs);
+    const cr::SimResult res = cr::run_fast_cjz(fs, adv, cfg, &checker);
+    table.add_row({attack.label, cr::Cell(res.arrivals), cr::Cell(res.successes),
+                   cr::Cell(static_cast<double>(res.successes) /
+                                static_cast<double>(res.arrivals),
+                            3),
+                   cr::Cell(res.jammed_slots), cr::Cell(checker.max_ratio(), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe served fraction barely moves and the (f,g)-throughput ratio stays\n"
+               "bounded under both attacks: with collision detection unavailable, this is\n"
+               "the best robustness theoretically possible (Theorems 1.2 + 1.3), and the\n"
+               "algorithm delivers it.\n";
+  return 0;
+}

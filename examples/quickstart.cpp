@@ -1,0 +1,60 @@
+// Quickstart: the smallest useful program against the library's public API.
+//
+//   1. pick a jamming-tolerance regime (g), which fixes the whole function
+//      set the algorithm runs on;
+//   2. describe the adversary (arrivals + jamming);
+//   3. run the simulation and read the result.
+//
+// Build & run:   ./build/examples/quickstart [--n=100] [--jam=0.25] [--seed=1]
+#include <iostream>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "common/cli.hpp"
+#include "engine/fast_cjz.hpp"
+#include "exp/scenarios.hpp"
+#include "metrics/throughput_check.hpp"
+
+int main(int argc, char** argv) {
+  const cr::Cli cli(argc, argv);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 100));
+  const double jam = cli.get_double("jam", 0.25);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  // 1. Functions: g = const(4) means "tolerate a constant fraction of
+  //    jammed slots"; the induced f is Theta(log t) (Theorem 1.2).
+  const cr::FunctionSet fs = cr::functions_constant_g(4.0);
+
+  // 2. Adversary: n nodes arrive at slot 1; each slot is jammed i.i.d.
+  cr::ComposedAdversary adversary(
+      cr::batch_arrival(n, 1),
+      jam > 0.0 ? cr::iid_jammer(jam) : cr::no_jam());
+
+  // 3. Run the CJZ algorithm until every message got through (with a guard
+  //    horizon), and verify Definition 1.1's bound online.
+  cr::SimConfig config;
+  config.horizon = 4'000'000;
+  config.seed = seed;
+  config.stop_when_empty = true;
+  cr::ThroughputChecker checker(fs);
+  const cr::SimResult result = cr::run_fast_cjz(fs, adversary, config, &checker);
+
+  std::cout << "contention resolution without collision detection — quickstart\n"
+            << "  nodes              : " << result.arrivals << "\n"
+            << "  jam rate           : " << jam << "\n"
+            << "  delivered          : " << result.successes << "\n"
+            << "  slots used         : " << result.slots << "\n"
+            << "  slots per message  : "
+            << static_cast<double>(result.slots) / static_cast<double>(n) << "\n"
+            << "  jammed slots       : " << result.jammed_slots << "\n"
+            << "  total broadcasts   : " << result.total_sends << "\n"
+            << "  (f,g) bound ratio  : " << checker.max_ratio()
+            << "  (a_t <= const * (n_t f + d_t g) throughout)\n";
+
+  if (result.successes == result.arrivals) {
+    std::cout << "every message was delivered despite the jamming.\n";
+    return 0;
+  }
+  std::cout << "some messages are still queued — raise --horizon or lower --jam.\n";
+  return 1;
+}

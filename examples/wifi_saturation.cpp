@@ -1,0 +1,94 @@
+// Scenario: a saturated wireless cell.
+//
+// The paper's opening motivation is congestion control on shared media
+// (Ethernet, 802.11). This example models a hot access point: a steady
+// trickle of stations plus periodic flash crowds (a train arrives at the
+// platform every few seconds), all contending on one channel with no
+// collision detection. We compare the paper's algorithm with classical
+// windowed binary exponential backoff on latency and backlog.
+//
+// Run:   ./build/examples/wifi_saturation [--slots=131072] [--burst=96]
+#include <iostream>
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "engine/fast_cjz.hpp"
+#include "engine/generic_sim.hpp"
+#include "exp/scenarios.hpp"
+#include "metrics/metrics.hpp"
+#include "protocols/baselines.hpp"
+
+namespace {
+
+/// Steady Bernoulli stations plus a flash crowd every `period` slots.
+class HotCellArrivals final : public cr::ArrivalProcess {
+ public:
+  HotCellArrivals(double rate, cr::slot_t period, std::uint64_t burst)
+      : rate_(rate), period_(period), burst_(burst) {}
+
+  std::uint64_t arrivals(cr::slot_t slot, const cr::PublicHistory&, cr::Rng& rng) override {
+    std::uint64_t k = rng.bernoulli(rate_) ? 1 : 0;
+    if (slot % period_ == 1) k += burst_;
+    return k;
+  }
+  std::string name() const override { return "hot-cell"; }
+
+ private:
+  double rate_;
+  cr::slot_t period_;
+  std::uint64_t burst_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cr::Cli cli(argc, argv);
+  const auto slots = static_cast<cr::slot_t>(cli.get_int("slots", 131072));
+  const auto burst = static_cast<std::uint64_t>(cli.get_int("burst", 96));
+  const double rate = cli.get_double("rate", 0.002);
+  const cr::slot_t period = static_cast<cr::slot_t>(cli.get_int("period", 16384));
+
+  std::cout << "wifi_saturation: steady stations (rate " << rate << "/slot) + flash crowd of "
+            << burst << " every " << period << " slots, " << slots << " slots total\n\n";
+
+  cr::Table table({"protocol", "arrivals", "served", "backlog", "lat p50", "lat p99",
+                   "lat max"});
+
+  for (const std::string which : {"cjz", "beb", "sawtooth"}) {
+    cr::SimConfig cfg;
+    cfg.horizon = slots;
+    cfg.seed = 7;
+    cfg.record_node_stats = true;
+
+    std::unique_ptr<cr::Adversary> adv = std::make_unique<cr::ComposedAdversary>(
+        std::make_unique<HotCellArrivals>(rate, period, burst), cr::no_jam());
+
+    cr::SimResult res;
+    if (which == "cjz") {
+      res = cr::run_fast_cjz(cr::functions_constant_g(4.0), *adv, cfg);
+    } else {
+      cr::WindowedBackoffOptions opts;
+      if (which == "sawtooth") opts.scheme = cr::WindowScheme::kSawtooth;
+      auto factory = cr::windowed_backoff_factory(opts);
+      res = cr::run_generic(*factory, *adv, cfg);
+    }
+    const cr::LatencyReport lat = cr::latency_report(res);
+    table.add_row({which, cr::Cell(res.arrivals),
+                   cr::Cell(static_cast<double>(res.successes) /
+                                static_cast<double>(res.arrivals),
+                            3),
+                   cr::Cell(res.live_at_end), cr::Cell(lat.p50, 0), cr::Cell(lat.p99, 0),
+                   cr::Cell(lat.max, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEach flash crowd is an adversarial batch: the paper's algorithm\n"
+               "synchronizes the crowd onto its data channel and drains it in ~n log n\n"
+               "slots with bounded per-station latency, without any collision-detection\n"
+               "hardware assistance.\n";
+  return 0;
+}

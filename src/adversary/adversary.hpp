@@ -1,0 +1,67 @@
+// Adversary framework.
+//
+// An adversary decides, at the start of each slot and based only on public
+// feedback, (a) whether to jam the slot and (b) how many new nodes to
+// inject. Per the model this makes it exactly as powerful as the paper's
+// adaptive Eve: it moves first each slot and sees the same channel feedback
+// as the nodes (no collision detection).
+//
+// Most experiments compose an ArrivalProcess with a Jammer via
+// ComposedAdversary; the scripted lower-bound adversaries implement
+// Adversary directly (see proof_adversaries.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "channel/trace.hpp"
+#include "channel/types.hpp"
+#include "common/rng.hpp"
+
+namespace cr {
+
+struct AdversaryAction {
+  bool jam = false;
+  std::uint64_t inject = 0;  ///< nodes arriving at the beginning of this slot
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Decide the action for `slot` (== history.slots() + 1).
+  virtual AdversaryAction on_slot(slot_t slot, const PublicHistory& history, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Arrival side of a composed adversary.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual std::uint64_t arrivals(slot_t slot, const PublicHistory& history, Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Jamming side of a composed adversary.
+class Jammer {
+ public:
+  virtual ~Jammer() = default;
+  virtual bool jams(slot_t slot, const PublicHistory& history, Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+class ComposedAdversary final : public Adversary {
+ public:
+  ComposedAdversary(std::unique_ptr<ArrivalProcess> arrivals, std::unique_ptr<Jammer> jammer);
+
+  AdversaryAction on_slot(slot_t slot, const PublicHistory& history, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  std::unique_ptr<Jammer> jammer_;
+};
+
+}  // namespace cr

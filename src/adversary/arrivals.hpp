@@ -1,0 +1,50 @@
+// Arrival processes.
+//
+// All processes are deterministic functions of (slot, public history, rng);
+// randomized ones draw from the rng the engine passes in, so runs stay
+// reproducible per seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "common/functions.hpp"
+
+namespace cr {
+
+/// No arrivals at all (useful with pre-seeded batches handled elsewhere).
+std::unique_ptr<ArrivalProcess> no_arrivals();
+
+/// `n` nodes arrive simultaneously at `at_slot` (the paper's batch setting).
+std::unique_ptr<ArrivalProcess> batch_arrival(std::uint64_t n, slot_t at_slot = 1);
+
+/// Explicit schedule: (slot, count) pairs. Slots may repeat.
+std::unique_ptr<ArrivalProcess> scheduled_arrivals(std::vector<std::pair<slot_t, std::uint64_t>> schedule);
+
+/// Bernoulli stream: each slot in [from, to] one node arrives w.p. `rate`
+/// (rate > 1 injects floor(rate) plus a fractional coin).
+std::unique_ptr<ArrivalProcess> bernoulli_arrivals(double rate, slot_t from = 1,
+                                                   slot_t to = ~static_cast<slot_t>(0));
+
+/// `total` arrival instants drawn uniformly at random from [1, horizon]
+/// (with replacement), fixed at construction time from `seed`. This is the
+/// "random-injected" pattern of Lemma 4.1.
+std::unique_ptr<ArrivalProcess> uniform_random_arrivals(std::uint64_t total, slot_t horizon,
+                                                        std::uint64_t seed);
+
+/// Paced ("smooth") arrivals: keeps cumulative arrivals n_t tracking
+/// target(t) = t / (margin · f(t)) for the FunctionSet's f — the heaviest
+/// arrival pattern a (f,g)-throughput algorithm can absorb while staying
+/// below capacity (Corollary 3.6's smoothness condition).
+std::unique_ptr<ArrivalProcess> paced_arrivals(FunctionSet fs, double margin, slot_t until = ~static_cast<slot_t>(0));
+
+/// Bursty adversarial arrivals: every `period` slots, injects `burst` nodes.
+std::unique_ptr<ArrivalProcess> bursty_arrivals(slot_t period, std::uint64_t burst,
+                                                slot_t from = 1,
+                                                slot_t to = ~static_cast<slot_t>(0));
+
+}  // namespace cr

@@ -1,0 +1,42 @@
+// Jamming strategies.
+//
+// Each jammer is a per-slot predicate over public history. Budgeted jammers
+// implement the d_t ≤ t/(c·g(t)) envelopes from the paper's (f,g)-throughput
+// definition; the reactive jammer is an *adaptive* strategy that spends its
+// budget right after observed successes (the most disruptive slot choice
+// available to an adversary without collision detection).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "common/functions.hpp"
+
+namespace cr {
+
+/// Never jams.
+std::unique_ptr<Jammer> no_jam();
+
+/// Jams each slot independently with probability `fraction` (the
+/// constant-fraction regime; pair with g = const).
+std::unique_ptr<Jammer> iid_jammer(double fraction);
+
+/// Jams slots [1, count] — the pattern that defeats plain exponential
+/// backoff (Theorem 4.2's adversary uses this as its first move).
+std::unique_ptr<Jammer> prefix_jammer(slot_t count);
+
+/// Jams `burst` consecutive slots at the start of every `period` slots.
+std::unique_ptr<Jammer> periodic_jammer(slot_t period, slot_t burst);
+
+/// Keeps cumulative jamming d_t tracking t / (margin · g(t)): the maximal
+/// envelope an (f,g)-throughput algorithm must tolerate. Spends the budget
+/// greedily (front-loaded), which is the harshest paced schedule.
+std::unique_ptr<Jammer> budget_paced_jammer(GrowthFn g, double margin);
+
+/// Adaptive: after each observed success, jams the next `burst` slots,
+/// subject to the same t/(margin·g(t)) budget. Models an attacker trying to
+/// break the algorithm's success-driven synchronization.
+std::unique_ptr<Jammer> reactive_jammer(GrowthFn g, double margin, slot_t burst = 2);
+
+}  // namespace cr

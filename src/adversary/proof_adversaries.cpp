@@ -1,0 +1,109 @@
+#include "adversary/proof_adversaries.hpp"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cr {
+namespace {
+
+class Lemma41Adversary final : public Adversary {
+ public:
+  Lemma41Adversary(slot_t t, double x1, GrowthFn h, std::uint64_t seed) : t_(t) {
+    CR_CHECK(t >= 16);
+    CR_CHECK(x1 > 0.0 && x1 <= 1.0);
+    const double td = static_cast<double>(t);
+    const auto batch_per_slot =
+        static_cast<std::uint64_t>(std::ceil(3.0 * std::log2(td) / x1));
+    const auto sqrt_t = static_cast<slot_t>(std::floor(std::sqrt(td)));
+    for (slot_t s = 1; s <= sqrt_t; ++s) inject_[s] += batch_per_slot;
+    const auto randoms = static_cast<std::uint64_t>(td / (2.0 * h(td)));
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < randoms; ++i) inject_[1 + rng.uniform_u64(t)] += 1;
+  }
+
+  AdversaryAction on_slot(slot_t slot, const PublicHistory&, Rng&) override {
+    AdversaryAction act;
+    const auto it = inject_.find(slot);
+    if (it != inject_.end()) act.inject = it->second;
+    return act;
+  }
+
+  std::string name() const override { return "lemma4.1"; }
+
+ private:
+  slot_t t_;
+  std::map<slot_t, std::uint64_t> inject_;
+};
+
+class Theorem13Adversary final : public Adversary {
+ public:
+  Theorem13Adversary(slot_t t, GrowthFn g, std::uint64_t seed) : t_(t) {
+    CR_CHECK(t >= 16);
+    const double td = static_cast<double>(t);
+    prefix_ = static_cast<slot_t>(std::max(1.0, td / (4.0 * g(td))));
+    // t/(4g) random jam slots from (prefix, t].
+    Rng rng(seed);
+    const auto randoms = static_cast<std::uint64_t>(td / (4.0 * g(td)));
+    const slot_t span = t_ - prefix_;
+    for (std::uint64_t i = 0; i < randoms && span > 0; ++i)
+      random_jams_[prefix_ + 1 + rng.uniform_u64(span)] = true;
+  }
+
+  AdversaryAction on_slot(slot_t slot, const PublicHistory&, Rng&) override {
+    AdversaryAction act;
+    act.inject = (slot == 1) ? 1 : 0;
+    act.jam = slot <= prefix_ || slot == t_ || random_jams_.count(slot) > 0;
+    return act;
+  }
+
+  std::string name() const override { return "theorem1.3"; }
+
+ private:
+  slot_t t_;
+  slot_t prefix_ = 0;
+  std::map<slot_t, bool> random_jams_;
+};
+
+class Theorem42Adversary final : public Adversary {
+ public:
+  Theorem42Adversary(slot_t t, const FunctionSet& fs) : t_(t) {
+    CR_CHECK(t >= 16);
+    const double td = static_cast<double>(t);
+    prefix_ = static_cast<slot_t>(std::max(1.0, td / (4.0 * fs.g(td))));
+    last_burst_ = static_cast<std::uint64_t>(std::max(1.0, td / (4.0 * fs.f(td))));
+  }
+
+  AdversaryAction on_slot(slot_t slot, const PublicHistory&, Rng&) override {
+    AdversaryAction act;
+    act.jam = slot <= prefix_ || slot == t_;
+    if (slot == 1) act.inject = 2;
+    if (slot == t_) act.inject = last_burst_;
+    return act;
+  }
+
+  std::string name() const override { return "theorem4.2"; }
+
+ private:
+  slot_t t_;
+  slot_t prefix_ = 0;
+  std::uint64_t last_burst_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Adversary> lemma41_adversary(slot_t t, double x1, GrowthFn h, std::uint64_t seed) {
+  return std::make_unique<Lemma41Adversary>(t, x1, std::move(h), seed);
+}
+
+std::unique_ptr<Adversary> theorem13_adversary(slot_t t, GrowthFn g, std::uint64_t seed) {
+  return std::make_unique<Theorem13Adversary>(t, std::move(g), seed);
+}
+
+std::unique_ptr<Adversary> theorem42_adversary(slot_t t, const FunctionSet& fs) {
+  return std::make_unique<Theorem42Adversary>(t, fs);
+}
+
+}  // namespace cr

@@ -1,0 +1,39 @@
+// Scripted adversaries from the paper's impossibility proofs (§4).
+//
+// These reproduce the exact constructions used in Lemma 4.1, Theorem 1.3 and
+// Theorem 4.2 so the lower-bound benches can measure the predicted behaviour
+// (no success in the attacked window; Ω(log²t / log²g) sends before first
+// success).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "common/functions.hpp"
+
+namespace cr {
+
+/// Lemma 4.1's adversary, parameterised by the target protocol's first-slot
+/// sending probability x₁ and the sub-logarithmic function h it attacks:
+///   * injects ceil((3·log t)/x₁) "batch-injected" nodes in each of the first
+///     √t slots, and
+///   * injects floor(t/(2·h(t))) "random-injected" nodes at slots drawn
+///     uniformly at random from [1, t].
+/// No jamming. Designed so that, w.h.p., no success occurs in [1, t] against
+/// any protocol that sends ω(h(t)·log t) times before its first success.
+std::unique_ptr<Adversary> lemma41_adversary(slot_t t, double x1, GrowthFn h, std::uint64_t seed);
+
+/// Theorem 1.3's adversary:
+///   * injects one node in slot 1,
+///   * jams slots [1, t/(4·g(t))] and the last slot t,
+///   * jams another t/(4·g(t)) slots chosen uniformly at random from
+///     (t/(4g(t)), t].
+std::unique_ptr<Adversary> theorem13_adversary(slot_t t, GrowthFn g, std::uint64_t seed);
+
+/// Theorem 4.2's adversary (against non-adaptive sending patterns):
+///   * jams slots [1, t/(4·g(t))] and the last slot,
+///   * injects 2 nodes in slot 1 and t/(4·f(t)) nodes in the last slot.
+std::unique_ptr<Adversary> theorem42_adversary(slot_t t, const FunctionSet& fs);
+
+}  // namespace cr

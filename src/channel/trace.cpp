@@ -1,0 +1,22 @@
+#include "channel/trace.hpp"
+
+#include "common/check.hpp"
+
+namespace cr {
+
+void Trace::record(const SlotOutcome& out) {
+  CR_CHECK(out.slot == slots() + 1);
+  outcomes_.push_back(out);
+  if (out.success()) {
+    ++total_successes_;
+    last_success_slot_ = out.slot;
+  }
+  if (out.jammed) ++total_jammed_;
+}
+
+const SlotOutcome& Trace::outcome(slot_t s) const {
+  CR_CHECK(s >= 1 && s <= slots());
+  return outcomes_[s - 1];
+}
+
+}  // namespace cr

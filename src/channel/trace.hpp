@@ -1,0 +1,59 @@
+// Feedback history.
+//
+// Trace stores ground-truth outcomes (for metrics/tests). PublicHistory is a
+// read-only facade over a Trace exposing exactly the information the model
+// makes public: per-slot binary feedback plus success bookkeeping. Adversary
+// strategies receive PublicHistory only — the type system enforces the
+// paper's "Eve has no collision detection either" rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/types.hpp"
+
+namespace cr {
+
+class Trace {
+ public:
+  /// Record the outcome of the next slot. Outcomes must arrive in slot order
+  /// starting at slot 1.
+  void record(const SlotOutcome& out);
+
+  slot_t slots() const { return static_cast<slot_t>(outcomes_.size()); }
+  bool empty() const { return outcomes_.empty(); }
+
+  /// Ground truth for slot s in [1, slots()].
+  const SlotOutcome& outcome(slot_t s) const;
+
+  std::uint64_t total_successes() const { return total_successes_; }
+  std::uint64_t total_jammed() const { return total_jammed_; }
+  /// 0 when no success yet.
+  slot_t last_success_slot() const { return last_success_slot_; }
+
+ private:
+  std::vector<SlotOutcome> outcomes_;
+  std::uint64_t total_successes_ = 0;
+  std::uint64_t total_jammed_ = 0;
+  slot_t last_success_slot_ = 0;
+};
+
+/// The adversary's (and conceptually every node's) view of the past.
+class PublicHistory {
+ public:
+  explicit PublicHistory(const Trace& trace) : trace_(&trace) {}
+
+  /// Number of completed slots (the upcoming slot is slots()+1).
+  slot_t slots() const { return trace_->slots(); }
+
+  Feedback feedback(slot_t s) const { return trace_->outcome(s).feedback(); }
+  bool was_success(slot_t s) const { return feedback(s) == Feedback::kSuccess; }
+
+  std::uint64_t total_successes() const { return trace_->total_successes(); }
+  slot_t last_success_slot() const { return trace_->last_success_slot(); }
+
+ private:
+  const Trace* trace_;
+};
+
+}  // namespace cr

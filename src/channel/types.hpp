@@ -1,0 +1,60 @@
+// Core model types: slots, node ids, channel feedback.
+//
+// Slots are 1-based (as in the paper). The multiple-access channel has no
+// collision detection: public feedback per slot is binary — either a success
+// carrying the winner's id, or "silence-or-collision" which conflates an
+// empty slot, a collision, and a jammed slot.
+//
+// The odd/even "conceptual channels" of the algorithm are pure slot-parity
+// views; parity_channel() is the single source of truth for that mapping.
+#pragma once
+
+#include <cstdint>
+
+namespace cr {
+
+using slot_t = std::uint64_t;
+using node_id = std::uint64_t;
+
+inline constexpr node_id kNoNode = ~static_cast<node_id>(0);
+
+/// Public channel feedback (identical for nodes and the adversary).
+enum class Feedback : std::uint8_t {
+  kSilenceOrCollision = 0,  ///< zero senders, >=2 senders, or jammed
+  kSuccess = 1,             ///< exactly one sender, slot not jammed
+};
+
+/// Conceptual channel of an absolute slot: 0 = even slots, 1 = odd slots.
+inline int parity_channel(slot_t slot) { return static_cast<int>(slot & 1); }
+
+/// Ternary feedback when a collision-detection mechanism IS available — the
+/// model the paper contrasts against (its own algorithms never see this;
+/// only protocols overriding NodeProtocol::on_feedback_cd do).
+enum class CdFeedback : std::uint8_t {
+  kSilence = 0,    ///< no transmissions and the slot was not jammed
+  kCollision = 1,  ///< >=2 transmissions, or any jammed slot
+  kSuccess = 2,
+};
+
+/// Ground-truth outcome of one slot (the simulator's record; the `jammed`
+/// and `senders` fields are NOT visible to nodes or the adversary).
+struct SlotOutcome {
+  slot_t slot = 0;
+  std::uint64_t senders = 0;
+  bool jammed = false;
+  node_id winner = kNoNode;
+
+  bool success() const { return winner != kNoNode; }
+  Feedback feedback() const {
+    return success() ? Feedback::kSuccess : Feedback::kSilenceOrCollision;
+  }
+  /// What a collision-detection-capable receiver would hear. A jammed slot
+  /// always sounds like a collision (the paper's jamming semantics).
+  CdFeedback cd_feedback() const {
+    if (success()) return CdFeedback::kSuccess;
+    if (jammed || senders >= 2) return CdFeedback::kCollision;
+    return CdFeedback::kSilence;
+  }
+};
+
+}  // namespace cr

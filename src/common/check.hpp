@@ -1,0 +1,30 @@
+// Lightweight runtime contract checking.
+//
+// CR_CHECK is always on (cheap invariants guarding library correctness);
+// CR_DCHECK compiles out in NDEBUG builds (hot-loop assertions).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cr {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CR_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace cr
+
+#define CR_CHECK(expr)                                  \
+  do {                                                  \
+    if (!(expr)) ::cr::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CR_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define CR_DCHECK(expr) CR_CHECK(expr)
+#endif

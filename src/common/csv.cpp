@@ -1,0 +1,53 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cr {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(os), cols_(header.size()) {
+  CR_CHECK(cols_ > 0);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(header[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  CR_CHECK(values.size() == cols_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(values[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream ss;
+    ss.precision(6);
+    ss << v;
+    cells.push_back(ss.str());
+  }
+  row(cells);
+}
+
+std::string CsvWriter::escape(const std::string& value) {
+  const bool needs_quote = value.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return value;
+  std::string out = "\"";
+  for (char ch : value) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace cr

@@ -1,0 +1,33 @@
+// Minimal CSV emitter for experiment results.
+//
+// Values containing commas/quotes/newlines are quoted per RFC 4180.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cr {
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately. `os` must outlive the writer.
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void row_numeric(const std::vector<double>& values);
+
+  std::size_t rows_written() const { return rows_; }
+
+  static std::string escape(const std::string& value);
+
+ private:
+  std::ostream& os_;
+  std::size_t cols_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace cr

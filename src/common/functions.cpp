@@ -1,0 +1,117 @@
+#include "common/functions.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cr {
+
+GrowthFn::GrowthFn(std::string name, std::function<double(double)> fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  CR_CHECK(fn_ != nullptr);
+}
+
+namespace fn {
+
+GrowthFn constant(double c) {
+  CR_CHECK(c > 0.0);
+  std::ostringstream os;
+  os << "const(" << c << ")";
+  return GrowthFn(os.str(), [c](double) { return c; });
+}
+
+GrowthFn log2p(double scale) {
+  CR_CHECK(scale > 0.0);
+  std::ostringstream os;
+  os << scale << "*log2(x+2)";
+  return GrowthFn(os.str(), [scale](double x) { return scale * std::log2(x + 2.0); });
+}
+
+GrowthFn poly_log(double scale, double exponent) {
+  CR_CHECK(scale > 0.0 && exponent > 0.0);
+  std::ostringstream os;
+  os << scale << "*log2(x+2)^" << exponent;
+  return GrowthFn(os.str(), [scale, exponent](double x) {
+    return scale * std::pow(std::log2(x + 2.0), exponent);
+  });
+}
+
+GrowthFn exp_sqrt_log(double scale) {
+  CR_CHECK(scale > 0.0);
+  std::ostringstream os;
+  os << "2^(" << scale << "*sqrt(log2(x+2)))";
+  return GrowthFn(os.str(), [scale](double x) {
+    return std::exp2(scale * std::sqrt(std::log2(x + 2.0)));
+  });
+}
+
+GrowthFn poly(double exponent) {
+  CR_CHECK(exponent > 0.0);
+  std::ostringstream os;
+  os << "x^" << exponent;
+  return GrowthFn(os.str(), [exponent](double x) { return std::pow(x, exponent); });
+}
+
+}  // namespace fn
+
+double FunctionSet::f(double x) const {
+  const double lg = std::max(1.0, std::log2(g(x)));
+  return cf * std::log2(x + 2.0) / (lg * lg);
+}
+
+double FunctionSet::h_backoff(double x) const {
+  CR_DCHECK(a > 0.0);
+  return std::max(1.0, f(x) / a);
+}
+
+unsigned FunctionSet::backoff_sends(std::uint64_t stage_len) const {
+  const double h = h_backoff(static_cast<double>(stage_len));
+  const double capped = std::min(h, static_cast<double>(stage_len));
+  const long long rounded = std::llround(capped);
+  return static_cast<unsigned>(std::max(1LL, rounded));
+}
+
+double FunctionSet::h_ctrl(double x) const {
+  CR_DCHECK(x >= 1.0);
+  return std::min(1.0, c_ctrl * std::log2(x + 2.0) / x);
+}
+
+double FunctionSet::h_data(double x) {
+  CR_DCHECK(x >= 1.0);
+  return std::min(1.0, 1.0 / x);
+}
+
+std::string FunctionSet::describe() const {
+  std::ostringstream os;
+  os << "g=" << g.name() << ", cf=" << cf << ", a=" << a << ", c3=" << c_ctrl;
+  return os.str();
+}
+
+SublogReport check_sublogarithmic(const GrowthFn& h, double x_max) {
+  SublogReport rep;
+  // Geometric grid 16, 32, ..., x_max.
+  const double kBigOConst = 64.0;      // generous: h(x) <= 64·log2(x)
+  const double kDoublingConst = 16.0;  // |h(2x) − h(x)| <= 16
+  double prev = h(16.0);
+  for (double x = 16.0; x <= x_max; x *= 2.0) {
+    const double hx = h(x);
+    if (hx + 1e-9 < prev) rep.non_decreasing = false;
+    if (hx > kBigOConst * std::log2(x)) rep.big_o_log = false;
+    if (std::fabs(h(2.0 * x) - hx) > kDoublingConst) rep.doubling_bounded = false;
+    prev = hx;
+  }
+  // Condition (4): h(x^c) = Θ(h(x)) — ratio bounded both ways on the grid.
+  for (double x = 64.0; x <= x_max; x *= 4.0) {
+    for (double c : {2.0, 3.0}) {
+      const double num = h(std::pow(x, c));
+      const double den = h(x);
+      if (den <= 0.0 || num / den > 16.0 || num / den < 1.0 / 16.0) rep.power_theta = false;
+    }
+  }
+  return rep;
+}
+
+}  // namespace cr

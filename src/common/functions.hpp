@@ -1,0 +1,98 @@
+// Growth-function substrate.
+//
+// The paper's algorithm (Thm 1.2) is parameterised by a jamming-tolerance
+// function g with log²(g) sub-logarithmic, from which it derives
+//
+//     f(x)      = c_f · log(x) / log²(g(x))          (throughput overhead)
+//     h_ctrl(x) = c₃ · log(x) / x                    (Phase-3 control batch)
+//     h_data(x) = 1 / x                              (Phase-3 data batch)
+//     h_bkf(x)  = f(x) / a                           (Phase-1/2 backoff sends per stage)
+//
+// This header provides g presets (constant, polylog, 2^√log — the three
+// regimes the paper discusses), the derived FunctionSet, and diagnostics for
+// the "sub-logarithmic" conditions of Remark 1, which the tests exercise.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace cr {
+
+/// A named positive function of a positive real. Small value type; copies are
+/// cheap enough for experiment configs (shared_ptr'd callable under the hood).
+class GrowthFn {
+ public:
+  GrowthFn() : GrowthFn("one", [](double) { return 1.0; }) {}
+  GrowthFn(std::string name, std::function<double(double)> fn);
+
+  double operator()(double x) const { return fn_(x); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::function<double(double)> fn_;
+};
+
+namespace fn {
+
+/// g(x) = c. Tolerates a constant fraction of jammed slots; forces
+/// f = Θ(log x) (the worst-case-throughput regime of the introduction).
+GrowthFn constant(double c);
+
+/// log2(x + 2): positive and non-decreasing on x >= 0.
+GrowthFn log2p(double scale = 1.0);
+
+/// g(x) = scale · log2(x+2)^e.
+GrowthFn poly_log(double scale, double exponent);
+
+/// g(x) = 2^(scale · √log2(x+2)). The Remark-2 regime: the induced f is
+/// Θ(1), i.e. constant throughput with sub-polynomial jamming tolerance.
+GrowthFn exp_sqrt_log(double scale = 1.0);
+
+/// g(x) = x^e (NOT sub-logarithmic in log; used by tests to check the
+/// diagnostics reject it).
+GrowthFn poly(double exponent);
+
+}  // namespace fn
+
+/// The full set of functions driving one algorithm instance.
+struct FunctionSet {
+  GrowthFn g = fn::constant(2.0);
+  double cf = 1.0;      ///< c₂ scaling of f
+  double a = 1.0;       ///< paper's `a` (backoff density divisor)
+  double c_ctrl = 2.0;  ///< c₃ scaling of h_ctrl
+
+  /// f(x) = cf · log2(x+2) / max(1, log2 g(x))². Non-decreasing for the
+  /// provided g presets; >= cf/ O(1) for small x.
+  double f(double x) const;
+
+  /// Sends per backoff stage of length x: max(1, round(f(x)/a)).
+  double h_backoff(double x) const;
+  /// Integral send count for a stage of length `len` (what BackoffProcess uses).
+  unsigned backoff_sends(std::uint64_t stage_len) const;
+
+  /// h_ctrl(x) = min(1, c₃·log2(x+2)/x); positive at x = 1.
+  double h_ctrl(double x) const;
+  /// h_data(x) = min(1, 1/x) — the paper's exact choice.
+  static double h_data(double x);
+
+  /// Human-readable description ("g=const(4), cf=1, c3=2").
+  std::string describe() const;
+};
+
+/// Diagnostics for Remark 1's sub-logarithmic conditions, evaluated on a
+/// geometric sample grid up to x_max. Returns true when all hold:
+///  (1) h(x) = O(log x) and non-decreasing,
+///  (2) h bounded below by a constant for large x,
+///  (3) |h(2x) − h(x)| bounded by a constant,
+///  (4) h(x^c) = Θ(h(x)) for c in {2, 3}.
+struct SublogReport {
+  bool non_decreasing = true;
+  bool big_o_log = true;
+  bool doubling_bounded = true;
+  bool power_theta = true;
+  bool ok() const { return non_decreasing && big_o_log && doubling_bounded && power_theta; }
+};
+SublogReport check_sublogarithmic(const GrowthFn& h, double x_max = 1e9);
+
+}  // namespace cr

@@ -1,0 +1,18 @@
+#include "engine/calendar.hpp"
+
+#include "common/check.hpp"
+
+namespace cr {
+
+std::optional<CalendarEvent> Calendar::pop_due(slot_t slot) {
+  if (heap_.empty()) return std::nullopt;
+  const CalendarEvent& top = heap_.top();
+  // The engine visits every slot in order, so nothing can be overdue.
+  CR_DCHECK(top.slot >= slot);
+  if (top.slot > slot) return std::nullopt;
+  CalendarEvent ev = top;
+  heap_.pop();
+  return ev;
+}
+
+}  // namespace cr

@@ -1,0 +1,52 @@
+// Calendar queue for the fast engines.
+//
+// A min-heap of (slot, kind) events carrying a node index and a generation
+// counter. Stale events (the node transitioned or departed since
+// scheduling) are filtered by the consumer via the generation check —
+// cheaper than removing from the middle of a heap.
+//
+// Kind ordering matters: all kStageBegin events of a slot are delivered
+// before any kSend event of the same slot, because beginning a backoff
+// stage may schedule a send in that very slot (offset 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "channel/types.hpp"
+
+namespace cr {
+
+struct CalendarEvent {
+  enum class Kind : std::uint8_t { kStageBegin = 0, kSend = 1 };
+
+  slot_t slot = 0;
+  Kind kind = Kind::kSend;
+  std::uint32_t node = 0;
+  std::uint32_t gen = 0;
+};
+
+class Calendar {
+ public:
+  void push(const CalendarEvent& ev) { heap_.push(ev); }
+
+  /// Pop the next event scheduled at or before `slot` (stage-begins first
+  /// within a slot); nullopt when none remain for this slot.
+  std::optional<CalendarEvent> pop_due(slot_t slot);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const CalendarEvent& a, const CalendarEvent& b) const {
+      if (a.slot != b.slot) return a.slot > b.slot;
+      return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+    }
+  };
+  std::priority_queue<CalendarEvent, std::vector<CalendarEvent>, Later> heap_;
+};
+
+}  // namespace cr

@@ -1,0 +1,116 @@
+#include "engine/fast_batch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "channel/channel.hpp"
+#include "common/check.hpp"
+
+namespace cr {
+
+FastBatchSimulator::FastBatchSimulator(SendProfile profile, Adversary& adversary,
+                                       SimConfig config)
+    : profile_(std::move(profile)), adversary_(adversary), config_(config) {}
+
+SimResult FastBatchSimulator::run() {
+  Rng root(config_.seed);
+  Rng rng_adv = root.fork(0xADu);
+  Rng rng = root.fork(0xB0u);
+
+  trace_ = Trace{};
+  PublicHistory history(trace_);
+  SimResult result;
+
+  std::vector<Cohort> cohorts;
+  std::vector<std::pair<std::size_t, std::uint64_t>> draws;
+  std::uint64_t live = 0;
+  node_id next_departed_id = 0;
+
+  for (slot_t slot = 1; slot <= config_.horizon; ++slot) {
+    const AdversaryAction action = adversary_.on_slot(slot, history, rng_adv);
+
+    if (action.inject > 0) {
+      cohorts.push_back({slot, action.inject});
+      live += action.inject;
+      result.arrivals += action.inject;
+    }
+    CR_CHECK(live <= config_.max_live_nodes);
+
+    const std::uint64_t live_now = live;
+    if (live_now > 0) ++result.active_slots;
+
+    std::uint64_t senders = 0;
+    draws.clear();
+    for (std::size_t ci = 0; ci < cohorts.size(); ++ci) {
+      const Cohort& cohort = cohorts[ci];
+      if (cohort.count == 0) continue;
+      const std::uint64_t age = slot - cohort.arrival + 1;
+      const std::uint64_t c = rng.binomial(cohort.count, profile_(age));
+      if (c > 0) {
+        senders += c;
+        draws.emplace_back(ci, c);
+      }
+    }
+    result.total_sends += senders;
+
+    node_id winner = kNoNode;
+    std::size_t winner_cohort = cohorts.size();
+    if (senders == 1 && !action.jam) {
+      winner_cohort = draws.front().first;
+      winner = next_departed_id++;
+    }
+
+    const SlotOutcome out = resolve_slot(slot, senders, action.jam, winner);
+    trace_.record(out);
+    if (out.jammed) ++result.jammed_slots;
+    if (observer_ != nullptr) observer_->on_slot(out, action.inject, live_now);
+
+    if (out.success()) {
+      Cohort& cohort = cohorts[winner_cohort];
+      --cohort.count;
+      --live;
+      ++result.successes;
+      if (result.first_success == 0) result.first_success = slot;
+      result.last_success = slot;
+      if (config_.record_success_times) result.success_times.push_back(slot);
+      if (config_.record_node_stats) {
+        NodeStats ns;
+        ns.id = out.winner;
+        ns.arrival = cohort.arrival;
+        ns.departure = slot;
+        ns.sends = 0;
+        result.node_stats.push_back(ns);
+      }
+    }
+
+    // Periodically drop drained cohorts so long dynamic runs stay lean.
+    if ((slot & 0xFFF) == 0)
+      std::erase_if(cohorts, [](const Cohort& c) { return c.count == 0; });
+
+    result.slots = slot;
+    if (config_.stop_when_empty && result.arrivals > 0 && live == 0) break;
+    if (config_.stop_after_first_success && result.successes > 0) break;
+  }
+
+  result.live_at_end = live;
+  if (config_.record_node_stats) {
+    for (const auto& cohort : cohorts) {
+      for (std::uint64_t i = 0; i < cohort.count; ++i) {
+        NodeStats ns;
+        ns.arrival = cohort.arrival;
+        ns.departure = 0;
+        result.node_stats.push_back(ns);
+      }
+    }
+  }
+  return result;
+}
+
+SimResult run_fast_batch(const SendProfile& profile, Adversary& adversary,
+                         const SimConfig& config, SlotObserver* observer) {
+  FastBatchSimulator sim(profile, adversary, config);
+  sim.set_observer(observer);
+  return sim.run();
+}
+
+}  // namespace cr

@@ -1,0 +1,52 @@
+// Fast simulator for probability-profile protocols (h-batch and friends).
+//
+// Nodes sharing an arrival slot are exchangeable under a SendProfile — the
+// sending probability depends only on age — so each arrival slot becomes a
+// cohort and the per-slot sender count is one Binomial draw per cohort.
+//
+// Best suited to batch workloads (one or few arrival slots); with one cohort
+// per slot of a long arrival stream the per-slot cost degrades to O(live
+// cohorts), which is still far below the generic engine's O(live nodes).
+//
+// Per-node send attribution is not tracked (NodeStats.sends == 0); use the
+// generic engine when per-node energy is the measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "channel/trace.hpp"
+#include "engine/sim_result.hpp"
+#include "protocols/batch.hpp"
+
+namespace cr {
+
+class FastBatchSimulator {
+ public:
+  FastBatchSimulator(SendProfile profile, Adversary& adversary, SimConfig config);
+
+  void set_observer(SlotObserver* observer) { observer_ = observer; }
+
+  SimResult run();
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  struct Cohort {
+    slot_t arrival = 0;
+    std::uint64_t count = 0;
+  };
+
+  SendProfile profile_;
+  Adversary& adversary_;
+  SimConfig config_;
+  SlotObserver* observer_ = nullptr;
+  Trace trace_;
+};
+
+/// Convenience one-shot runner.
+SimResult run_fast_batch(const SendProfile& profile, Adversary& adversary,
+                         const SimConfig& config, SlotObserver* observer = nullptr);
+
+}  // namespace cr

@@ -1,0 +1,88 @@
+// Fast simulator for the CJZ algorithm.
+//
+// Exploits two structural facts about the algorithm:
+//
+//   1. Every node in Phase 3 restarted at some success slot l₃, and every
+//      success slot merges all Phase-3 populations whose control channel has
+//      that slot's parity (plus the Phase-2 nodes waiting on it) into ONE
+//      synchronized cohort. Members of a cohort are exchangeable: the number
+//      of transmitters per slot is Binomial(m, p(slot, l₃)), one draw per
+//      cohort per slot instead of m Bernoulli draws.
+//
+//   2. Phase-1/2 backoff transmissions are sparse — h(2^k) per stage of
+//      length 2^k — so they live in a calendar queue; a slot's backoff
+//      senders are read off the queue in O(log) time.
+//
+// Net cost: O(#cohorts + #due events) per slot, which lets the benches run
+// t up to 2²² with 10⁵–10⁶ nodes. Semantics match GenericSimulator +
+// CjzFactory (cross-validated statistically in tests/test_cross_engine.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "channel/trace.hpp"
+#include "common/functions.hpp"
+#include "engine/calendar.hpp"
+#include "engine/sim_result.hpp"
+#include "protocols/cjz_node.hpp"
+
+namespace cr {
+
+class FastCjzSimulator {
+ public:
+  FastCjzSimulator(FunctionSet fs, Adversary& adversary, SimConfig config,
+                   CjzOptions options = {});
+
+  void set_observer(SlotObserver* observer) { observer_ = observer; }
+
+  SimResult run();
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  struct Node {
+    node_id id = kNoNode;
+    slot_t arrival = 0;
+    slot_t from = 0;      ///< backoff channel-origin (phases 1–2)
+    std::uint64_t stage = 0;
+    std::uint32_t gen = 0;
+    std::uint8_t phase = 1;
+    std::uint8_t channel = 0;  ///< backoff channel parity (phases 1–2)
+    bool alive = true;
+  };
+
+  struct Cohort {
+    slot_t l3 = 0;
+    int ctrl_parity = 0;
+    std::vector<std::uint32_t> members;
+  };
+
+  void begin_stage(std::uint32_t idx, std::uint64_t k, Rng& rng);
+  void handle_success(slot_t slot, Rng& rng);
+
+  FunctionSet fs_;
+  Adversary& adversary_;
+  SimConfig config_;
+  CjzOptions options_;
+  SlotObserver* observer_ = nullptr;
+
+  Trace trace_;
+  Calendar calendar_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> p1_nodes_;
+  // Phase-2 nodes partitioned by the parity they are waiting on, so a
+  // success transitions a whole bucket in O(1) amortized instead of
+  // rescanning every Phase-2 node per success.
+  std::vector<std::uint32_t> p2_nodes_[2];
+  std::vector<Cohort> cohorts_;
+  std::uint64_t live_ = 0;
+  std::vector<std::uint64_t> offsets_scratch_;
+};
+
+/// Convenience one-shot runner.
+SimResult run_fast_cjz(const FunctionSet& fs, Adversary& adversary, const SimConfig& config,
+                       SlotObserver* observer = nullptr, CjzOptions options = {});
+
+}  // namespace cr

@@ -1,0 +1,72 @@
+// Shared simulation configuration / result types and the observer hook.
+//
+// Both engines (generic and fast) produce the same SimResult and drive the
+// same SlotObserver interface, so metrics are engine-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/types.hpp"
+
+namespace cr {
+
+struct SimConfig {
+  slot_t horizon = 1 << 16;   ///< simulate slots 1..horizon (inclusive)
+  std::uint64_t seed = 1;
+  /// Stop early once at least one node has arrived and the system drained.
+  bool stop_when_empty = false;
+  /// Stop right after the first successful transmission (first-success
+  /// experiments; avoids simulating the irrelevant tail).
+  bool stop_after_first_success = false;
+  bool record_success_times = false;
+  /// Generic engine only: per-node arrival/departure/send counts.
+  bool record_node_stats = false;
+  /// Safety valve: abort (CR_CHECK) if the live population exceeds this.
+  std::uint64_t max_live_nodes = 10'000'000;
+};
+
+struct NodeStats {
+  node_id id = kNoNode;
+  slot_t arrival = 0;
+  slot_t departure = 0;  ///< 0 = still in the system at the end
+  std::uint64_t sends = 0;
+
+  bool departed() const { return departure != 0; }
+  /// Slots spent in the system (valid when departed).
+  std::uint64_t latency() const { return departure - arrival + 1; }
+};
+
+struct SimResult {
+  slot_t slots = 0;                 ///< slots actually simulated
+  std::uint64_t arrivals = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t jammed_slots = 0;
+  std::uint64_t active_slots = 0;   ///< slots with >=1 node in the system
+  std::uint64_t total_sends = 0;    ///< transmissions incl. collisions
+  std::uint64_t live_at_end = 0;
+  slot_t first_success = 0;         ///< 0 = no success
+  slot_t last_success = 0;
+
+  std::vector<slot_t> success_times;  ///< when record_success_times
+  std::vector<NodeStats> node_stats;  ///< when record_node_stats
+
+  /// Classical throughput at the end of the run: n_t / a_t (>= 1 is ideal;
+  /// the paper lower-bounds n_t/a_t, we report its reciprocal form too).
+  double arrivals_per_active_slot() const {
+    return active_slots ? static_cast<double>(arrivals) / static_cast<double>(active_slots) : 0.0;
+  }
+  double successes_per_slot() const {
+    return slots ? static_cast<double>(successes) / static_cast<double>(slots) : 0.0;
+  }
+};
+
+/// Per-slot hook shared by all engines; `injected` counts this slot's
+/// arrivals, `live_nodes` the population during the slot (post-injection).
+class SlotObserver {
+ public:
+  virtual ~SlotObserver() = default;
+  virtual void on_slot(const SlotOutcome& out, std::uint64_t injected, std::uint64_t live_nodes) = 0;
+};
+
+}  // namespace cr

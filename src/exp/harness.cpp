@@ -1,0 +1,36 @@
+#include "exp/harness.hpp"
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace cr {
+
+std::vector<SimResult> replicate(int reps, std::uint64_t base_seed, const RunFn& run) {
+  CR_CHECK(reps > 0);
+  std::vector<SimResult> results;
+  results.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) results.push_back(run(base_seed + static_cast<std::uint64_t>(r)));
+  return results;
+}
+
+Accumulator collect(const std::vector<SimResult>& results,
+                    const std::function<double(const SimResult&)>& metric) {
+  Accumulator acc;
+  for (const auto& res : results) acc.add(metric(res));
+  return acc;
+}
+
+double fraction(const std::vector<SimResult>& results,
+                const std::function<bool(const SimResult&)>& pred) {
+  if (results.empty()) return 0.0;
+  std::uint64_t hits = 0;
+  for (const auto& res : results)
+    if (pred(res)) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(results.size());
+}
+
+std::string mean_sd(const Accumulator& acc, int precision) {
+  return format_double(acc.mean(), precision) + "±" + format_double(acc.stddev(), precision);
+}
+
+}  // namespace cr

@@ -1,0 +1,35 @@
+// Experiment harness: multi-seed replication and aggregation.
+//
+// All Monte-Carlo results in the benches flow through replicate(): a run
+// factory is invoked with seeds base, base+1, ..., and per-metric
+// Accumulators are extracted with collect(). This keeps every reported
+// number a (mean ± stddev) over independent seeds, which is how the paper's
+// "with high probability" statements are made observable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "engine/sim_result.hpp"
+
+namespace cr {
+
+using RunFn = std::function<SimResult(std::uint64_t seed)>;
+
+/// Run `reps` independent replications with seeds base_seed .. base_seed+reps-1.
+std::vector<SimResult> replicate(int reps, std::uint64_t base_seed, const RunFn& run);
+
+/// Fold one scalar metric across replications.
+Accumulator collect(const std::vector<SimResult>& results,
+                    const std::function<double(const SimResult&)>& metric);
+
+/// Fraction of replications satisfying a predicate (empirical probability).
+double fraction(const std::vector<SimResult>& results,
+                const std::function<bool(const SimResult&)>& pred);
+
+/// Formats "mean±sd" compactly for tables.
+std::string mean_sd(const Accumulator& acc, int precision = 3);
+
+}  // namespace cr

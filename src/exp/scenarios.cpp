@@ -1,0 +1,67 @@
+#include "exp/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+
+namespace cr {
+
+FunctionSet functions_constant_g(double gamma) {
+  FunctionSet fs;
+  fs.g = fn::constant(gamma);
+  return fs;
+}
+
+FunctionSet functions_log_g() {
+  FunctionSet fs;
+  fs.g = fn::log2p(1.0);
+  return fs;
+}
+
+FunctionSet functions_exp_sqrt_log_g(double scale) {
+  FunctionSet fs;
+  fs.g = fn::exp_sqrt_log(scale);
+  return fs;
+}
+
+Scenario worst_case_scenario(slot_t horizon, double jam_fraction, double arrival_margin,
+                             std::uint64_t seed) {
+  // The algorithm is always configured for constant-fraction tolerance
+  // (g = const); jam_fraction is what the adversary actually does. This
+  // keeps the arrival pacing (which depends on f, hence on g) comparable
+  // across jamming levels, including zero.
+  Scenario sc;
+  sc.fs = functions_constant_g(4.0);
+  sc.adversary = std::make_unique<ComposedAdversary>(
+      paced_arrivals(sc.fs, arrival_margin),
+      jam_fraction > 0.0 ? iid_jammer(jam_fraction) : no_jam());
+  sc.config.horizon = horizon;
+  sc.config.seed = seed;
+  return sc;
+}
+
+Scenario batch_scenario(std::uint64_t n, double jam_fraction, slot_t horizon, FunctionSet fs) {
+  Scenario sc;
+  sc.fs = std::move(fs);
+  sc.adversary = std::make_unique<ComposedAdversary>(batch_arrival(n, 1),
+                                                     jam_fraction > 0.0
+                                                         ? iid_jammer(jam_fraction)
+                                                         : no_jam());
+  sc.config.horizon = horizon;
+  return sc;
+}
+
+Scenario smooth_scenario(slot_t horizon, FunctionSet fs, double arrival_margin,
+                         double jam_margin) {
+  Scenario sc;
+  sc.fs = std::move(fs);
+  sc.adversary = std::make_unique<ComposedAdversary>(
+      paced_arrivals(sc.fs, arrival_margin), budget_paced_jammer(sc.fs.g, jam_margin));
+  sc.config.horizon = horizon;
+  return sc;
+}
+
+}  // namespace cr

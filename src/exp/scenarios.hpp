@@ -1,0 +1,41 @@
+// Canned scenario builders shared by benches, examples and tests.
+//
+// Each builder returns the (FunctionSet, Adversary, SimConfig) triple for a
+// named workload from the experiment index in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "common/functions.hpp"
+#include "engine/sim_result.hpp"
+
+namespace cr {
+
+/// The three g regimes the paper discusses.
+FunctionSet functions_constant_g(double gamma = 4.0);
+FunctionSet functions_log_g();
+FunctionSet functions_exp_sqrt_log_g(double scale = 1.0);
+
+struct Scenario {
+  FunctionSet fs;
+  std::unique_ptr<Adversary> adversary;
+  SimConfig config;
+};
+
+/// E2-style worst case: i.i.d. jamming at `jam_fraction` plus saturating
+/// paced arrivals (n_t tracks t/(margin·f(t))). Uses g = const.
+Scenario worst_case_scenario(slot_t horizon, double jam_fraction, double arrival_margin,
+                             std::uint64_t seed);
+
+/// Batch workload: n nodes at slot 1, i.i.d. jamming at `jam_fraction`.
+Scenario batch_scenario(std::uint64_t n, double jam_fraction, slot_t horizon,
+                        FunctionSet fs);
+
+/// Corollary 3.6 smooth adversary: paced arrivals at 1/(arrival_margin·f)
+/// and budget-paced jamming at 1/(jam_margin·g).
+Scenario smooth_scenario(slot_t horizon, FunctionSet fs, double arrival_margin,
+                         double jam_margin);
+
+}  // namespace cr

@@ -1,0 +1,67 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+namespace cr {
+
+LatencyReport latency_report(const SimResult& result) {
+  LatencyReport rep;
+  Quantiles q;
+  Accumulator acc;
+  for (const auto& ns : result.node_stats) {
+    if (!ns.departed()) {
+      ++rep.stranded;
+      continue;
+    }
+    ++rep.departed;
+    const auto lat = static_cast<double>(ns.latency());
+    q.add(lat);
+    acc.add(lat);
+  }
+  if (rep.departed > 0) {
+    rep.mean = acc.mean();
+    rep.p50 = q.quantile(0.5);
+    rep.p99 = q.quantile(0.99);
+    rep.max = q.max();
+  }
+  return rep;
+}
+
+EnergyReport energy_report(const SimResult& result) {
+  EnergyReport rep;
+  Quantiles q;
+  Accumulator acc;
+  for (const auto& ns : result.node_stats) {
+    if (!ns.departed()) continue;
+    ++rep.departed;
+    const auto sends = static_cast<double>(ns.sends);
+    q.add(sends);
+    acc.add(sends);
+  }
+  if (rep.departed > 0) {
+    rep.mean = acc.mean();
+    rep.p50 = q.quantile(0.5);
+    rep.p99 = q.quantile(0.99);
+    rep.max = q.max();
+  }
+  return rep;
+}
+
+std::uint64_t successes_in_window(const SimResult& result, slot_t from, slot_t to) {
+  const auto& ts = result.success_times;
+  const auto lo = std::lower_bound(ts.begin(), ts.end(), from);
+  const auto hi = std::upper_bound(ts.begin(), ts.end(), to);
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+std::uint64_t max_latency_for_arrivals(const SimResult& result, slot_t from, slot_t to) {
+  std::uint64_t max_lat = 0;
+  for (const auto& ns : result.node_stats) {
+    if (!ns.departed()) continue;
+    if (ns.arrival < from || ns.arrival > to) continue;
+    max_lat = std::max(max_lat, ns.latency());
+  }
+  return max_lat;
+}
+
+}  // namespace cr

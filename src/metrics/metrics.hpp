@@ -1,0 +1,41 @@
+// Derived metrics over SimResult.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "engine/sim_result.hpp"
+
+namespace cr {
+
+/// Latency of departed nodes (slots in system). Requires record_node_stats.
+struct LatencyReport {
+  std::uint64_t departed = 0;
+  std::uint64_t stranded = 0;  ///< still live at end of run
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+LatencyReport latency_report(const SimResult& result);
+
+/// Channel accesses per departed node (energy). Requires record_node_stats
+/// from the generic engine (fast engines do not attribute sends).
+struct EnergyReport {
+  std::uint64_t departed = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+EnergyReport energy_report(const SimResult& result);
+
+/// Number of successes in slot window [from, to]. Requires
+/// record_success_times.
+std::uint64_t successes_in_window(const SimResult& result, slot_t from, slot_t to);
+
+/// Max latency among nodes that arrived in [from, to] (0 if none departed).
+/// Requires record_node_stats.
+std::uint64_t max_latency_for_arrivals(const SimResult& result, slot_t from, slot_t to);
+
+}  // namespace cr

@@ -1,0 +1,40 @@
+#include "metrics/throughput_check.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cr {
+
+ThroughputChecker::ThroughputChecker(FunctionSet fs, slot_t sample_every)
+    : fs_(std::move(fs)), sample_every_(sample_every) {}
+
+void ThroughputChecker::on_slot(const SlotOutcome& out, std::uint64_t injected,
+                                std::uint64_t live_nodes) {
+  CR_CHECK(out.slot == t_ + 1);
+  t_ = out.slot;
+  n_t_ += injected;
+  if (out.jammed) ++d_t_;
+  if (live_nodes > 0) ++a_t_;
+
+  const double b = bound();
+  const double ratio = b > 0.0 ? static_cast<double>(a_t_) / b : 0.0;
+  if (ratio > max_ratio_) {
+    max_ratio_ = ratio;
+    max_ratio_slot_ = t_;
+  }
+  if (sample_every_ > 0 && t_ % sample_every_ == 0)
+    series_.push_back({t_, n_t_, d_t_, a_t_, ratio});
+}
+
+double ThroughputChecker::bound() const {
+  const double t = static_cast<double>(t_);
+  return static_cast<double>(n_t_) * fs_.f(t) + static_cast<double>(d_t_) * fs_.g(t);
+}
+
+double ThroughputChecker::final_ratio() const {
+  const double b = bound();
+  return b > 0.0 ? static_cast<double>(a_t_) / b : 0.0;
+}
+
+}  // namespace cr

@@ -1,0 +1,63 @@
+// Online verification of Definition 1.1 ((f,g)-throughput).
+//
+// Attached to either engine as a SlotObserver, the checker maintains the
+// cumulative counters n_t (arrivals), d_t (jammed slots), a_t (active slots)
+// and evaluates, at every slot t, the paper's bound
+//
+//     a_t  ≤  n_t·f(t) + d_t·g(t)
+//
+// reporting the worst (maximum) ratio a_t / (n_t·f(t) + d_t·g(t)) over the
+// run and where it occurred. A ratio that stays O(1) as t grows is the
+// empirical signature of (Θ(f), Θ(g))-throughput; the paper's unspecified
+// constants mean the absolute level is implementation-defined, so benches
+// compare ratios across t and across g regimes rather than against 1.0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/functions.hpp"
+#include "engine/sim_result.hpp"
+
+namespace cr {
+
+class ThroughputChecker final : public SlotObserver {
+ public:
+  /// `sample_every` > 0 additionally records a (t, ratio) series for CSV
+  /// output (one point per `sample_every` slots).
+  explicit ThroughputChecker(FunctionSet fs, slot_t sample_every = 0);
+
+  void on_slot(const SlotOutcome& out, std::uint64_t injected, std::uint64_t live_nodes) override;
+
+  std::uint64_t arrivals() const { return n_t_; }
+  std::uint64_t jammed() const { return d_t_; }
+  std::uint64_t active() const { return a_t_; }
+  slot_t slots() const { return t_; }
+
+  /// Bound value n_t·f(t) + d_t·g(t) at the current t.
+  double bound() const;
+  /// a_t / bound at the current t (0 when bound == 0).
+  double final_ratio() const;
+  double max_ratio() const { return max_ratio_; }
+  slot_t max_ratio_slot() const { return max_ratio_slot_; }
+
+  struct SamplePoint {
+    slot_t t;
+    std::uint64_t n_t, d_t, a_t;
+    double ratio;
+  };
+  const std::vector<SamplePoint>& series() const { return series_; }
+
+ private:
+  FunctionSet fs_;
+  slot_t sample_every_;
+  slot_t t_ = 0;
+  std::uint64_t n_t_ = 0;
+  std::uint64_t d_t_ = 0;
+  std::uint64_t a_t_ = 0;
+  double max_ratio_ = 0.0;
+  slot_t max_ratio_slot_ = 0;
+  std::vector<SamplePoint> series_;
+};
+
+}  // namespace cr

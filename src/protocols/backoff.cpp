@@ -1,0 +1,54 @@
+#include "protocols/backoff.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cr {
+
+BackoffProcess::BackoffProcess(const FunctionSet* fs) : fs_(fs) {
+  CR_CHECK(fs_ != nullptr);
+  reset();
+}
+
+void BackoffProcess::reset() {
+  vslot_ = 0;
+  total_sends_ = 0;
+  stage_ = 0;
+  stage_start_ = 0;
+  stage_len_ = 1;
+  send_offsets_.clear();
+  next_offset_ = 0;
+  stage_ready_ = false;
+}
+
+void BackoffProcess::begin_stage(std::uint64_t k, Rng& rng) {
+  stage_ = k;
+  stage_len_ = static_cast<std::uint64_t>(1) << k;
+  stage_start_ = stage_len_ - 1;  // 2^k − 1
+  const unsigned sends = fs_->backoff_sends(stage_len_);
+  send_offsets_.clear();
+  send_offsets_.reserve(sends);
+  for (unsigned i = 0; i < sends; ++i) send_offsets_.push_back(rng.uniform_u64(stage_len_));
+  std::sort(send_offsets_.begin(), send_offsets_.end());
+  send_offsets_.erase(std::unique(send_offsets_.begin(), send_offsets_.end()),
+                      send_offsets_.end());
+  next_offset_ = 0;
+  stage_ready_ = true;
+}
+
+bool BackoffProcess::step(Rng& rng) {
+  if (!stage_ready_) begin_stage(stage_, rng);
+  if (vslot_ >= stage_start_ + stage_len_) begin_stage(stage_ + 1, rng);
+  const std::uint64_t offset = vslot_ - stage_start_;
+  ++vslot_;
+  bool send = false;
+  while (next_offset_ < send_offsets_.size() && send_offsets_[next_offset_] <= offset) {
+    if (send_offsets_[next_offset_] == offset) send = true;
+    ++next_offset_;
+  }
+  if (send) ++total_sends_;
+  return send;
+}
+
+}  // namespace cr

@@ -1,0 +1,138 @@
+#include "protocols/baselines.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "protocols/backoff.hpp"
+
+namespace cr {
+namespace {
+
+/// Stateful window-length sequence for the windowed backoff family.
+class WindowSequence {
+ public:
+  explicit WindowSequence(const WindowedBackoffOptions& opts) : opts_(opts) {}
+
+  std::uint64_t next() {
+    switch (opts_.scheme) {
+      case WindowScheme::kBinaryExponential:
+        return static_cast<std::uint64_t>(1) << std::min<std::uint64_t>(index_++, 62);
+      case WindowScheme::kPolynomial: {
+        ++index_;
+        const double len = std::pow(static_cast<double>(index_), opts_.poly_exponent);
+        return static_cast<std::uint64_t>(std::max(1.0, std::floor(len)));
+      }
+      case WindowScheme::kSawtooth: {
+        // Epoch e yields windows 2^e, 2^{e-1}, ..., 1.
+        const std::uint64_t len = static_cast<std::uint64_t>(1) << pos_;
+        if (pos_ == 0) {
+          ++epoch_;
+          pos_ = std::min<std::uint64_t>(epoch_, 62);
+        } else {
+          --pos_;
+        }
+        return len;
+      }
+    }
+    CR_CHECK(false);
+    return 1;
+  }
+
+ private:
+  WindowedBackoffOptions opts_;
+  std::uint64_t index_ = 0;  // BEB / polynomial window counter
+  std::uint64_t epoch_ = 1;  // sawtooth state
+  std::uint64_t pos_ = 1;
+};
+
+class WindowedNode final : public NodeProtocol {
+ public:
+  WindowedNode(const WindowedBackoffOptions& opts, slot_t arrival, Rng& rng)
+      : seq_(opts), window_start_(arrival) {
+    begin_window(rng);
+  }
+
+  bool on_slot(slot_t now, Rng& rng) override {
+    while (now >= window_start_ + window_len_) {
+      window_start_ += window_len_;
+      begin_window(rng);
+    }
+    return now == window_start_ + send_offset_;
+  }
+
+  void on_feedback(slot_t, Feedback, bool, bool) override {}
+
+ private:
+  void begin_window(Rng& rng) {
+    window_len_ = seq_.next();
+    send_offset_ = rng.uniform_u64(window_len_);
+  }
+
+  WindowSequence seq_;
+  slot_t window_start_;
+  std::uint64_t window_len_ = 1;
+  std::uint64_t send_offset_ = 0;
+};
+
+class WindowedFactory final : public ProtocolFactory {
+ public:
+  explicit WindowedFactory(WindowedBackoffOptions opts) : opts_(opts) {}
+
+  std::unique_ptr<NodeProtocol> spawn(node_id, slot_t arrival, Rng& rng) override {
+    return std::make_unique<WindowedNode>(opts_, arrival, rng);
+  }
+
+  std::string name() const override {
+    switch (opts_.scheme) {
+      case WindowScheme::kBinaryExponential:
+        return "beb";
+      case WindowScheme::kPolynomial:
+        return "poly-backoff(e=" + std::to_string(opts_.poly_exponent) + ")";
+      case WindowScheme::kSawtooth:
+        return "sawtooth";
+    }
+    return "windowed";
+  }
+
+ private:
+  WindowedBackoffOptions opts_;
+};
+
+class BackoffNode final : public NodeProtocol {
+ public:
+  explicit BackoffNode(const FunctionSet* fs) : process_(fs) {}
+
+  bool on_slot(slot_t, Rng& rng) override { return process_.step(rng); }
+  void on_feedback(slot_t, Feedback, bool, bool) override {}
+
+ private:
+  BackoffProcess process_;
+};
+
+class BackoffFactory final : public ProtocolFactory {
+ public:
+  explicit BackoffFactory(FunctionSet fs) : fs_(std::move(fs)) {}
+
+  std::unique_ptr<NodeProtocol> spawn(node_id, slot_t, Rng&) override {
+    return std::make_unique<BackoffNode>(&fs_);
+  }
+
+  std::string name() const override { return "h-backoff[" + fs_.describe() + "]"; }
+
+ private:
+  FunctionSet fs_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolFactory> windowed_backoff_factory(WindowedBackoffOptions opts) {
+  return std::make_unique<WindowedFactory>(opts);
+}
+
+std::unique_ptr<ProtocolFactory> backoff_protocol_factory(FunctionSet fs) {
+  return std::make_unique<BackoffFactory>(std::move(fs));
+}
+
+}  // namespace cr

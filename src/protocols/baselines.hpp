@@ -1,0 +1,42 @@
+// Baseline contention-resolution protocols.
+//
+// * Windowed backoff family (classical BEB, polynomial, sawtooth): a node
+//   picks one uniformly random slot per window and the window sequence
+//   grows/oscillates per the scheme. These are the schemes related work
+//   shows are not constant-throughput.
+// * Single-channel h-backoff protocol: the paper's adaptive subroutine run
+//   on every slot until own success (used against the Theorem 4.2 / Lemma
+//   4.1 adversaries as the "adaptive" contender).
+//
+// ProfileProtocolFactory (batch.hpp) already covers the non-adaptive
+// fixed-probability-sequence family.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/functions.hpp"
+#include "protocols/protocol.hpp"
+
+namespace cr {
+
+enum class WindowScheme {
+  kBinaryExponential,  ///< windows 1, 2, 4, 8, ...
+  kPolynomial,         ///< windows 1, 2^e, 3^e, ... (e = poly_exponent)
+  kSawtooth,           ///< epochs of halving windows: 2,1, 4,2,1, 8,4,2,1, ...
+};
+
+struct WindowedBackoffOptions {
+  WindowScheme scheme = WindowScheme::kBinaryExponential;
+  double poly_exponent = 2.0;  ///< only for kPolynomial
+};
+
+/// Classical windowed backoff: one uniformly-random transmission per window,
+/// retrying until the node's own message succeeds. Ignores foreign feedback.
+std::unique_ptr<ProtocolFactory> windowed_backoff_factory(WindowedBackoffOptions opts = {});
+
+/// The paper's h-backoff subroutine run on every slot (single channel) until
+/// own success. `fs` provides h = max(1, f/a).
+std::unique_ptr<ProtocolFactory> backoff_protocol_factory(FunctionSet fs);
+
+}  // namespace cr

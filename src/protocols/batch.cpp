@@ -1,0 +1,84 @@
+#include "protocols/batch.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace cr {
+
+SendProfile::SendProfile(std::string name, std::function<double(std::uint64_t)> prob)
+    : name_(std::move(name)), prob_(std::move(prob)) {
+  CR_CHECK(prob_ != nullptr);
+}
+
+namespace profiles {
+
+SendProfile h_data() {
+  return SendProfile("h_data", [](std::uint64_t k) {
+    return std::min(1.0, 1.0 / static_cast<double>(k));
+  });
+}
+
+SendProfile h_ctrl(double c3) {
+  CR_CHECK(c3 > 0.0);
+  std::ostringstream os;
+  os << "h_ctrl(c3=" << c3 << ")";
+  return SendProfile(os.str(), [c3](std::uint64_t k) {
+    const double kd = static_cast<double>(k);
+    return std::min(1.0, c3 * std::log2(kd + 2.0) / kd);
+  });
+}
+
+SendProfile poly_decay(double c, double e) {
+  CR_CHECK(c > 0.0 && e > 0.0);
+  std::ostringstream os;
+  os << c << "/k^" << e;
+  return SendProfile(os.str(), [c, e](std::uint64_t k) {
+    return std::min(1.0, c / std::pow(static_cast<double>(k), e));
+  });
+}
+
+SendProfile aloha(double p) {
+  CR_CHECK(p > 0.0 && p <= 1.0);
+  std::ostringstream os;
+  os << "aloha(" << p << ")";
+  return SendProfile(os.str(), [p](std::uint64_t) { return p; });
+}
+
+}  // namespace profiles
+
+namespace {
+
+class ProfileNode final : public NodeProtocol {
+ public:
+  ProfileNode(const SendProfile* profile, slot_t arrival)
+      : profile_(profile), arrival_(arrival) {}
+
+  bool on_slot(slot_t now, Rng& rng) override {
+    CR_DCHECK(now >= arrival_);
+    const std::uint64_t age = now - arrival_ + 1;
+    return rng.bernoulli((*profile_)(age));
+  }
+
+  void on_feedback(slot_t, Feedback, bool, bool) override {
+    // Non-adaptive: foreign feedback is ignored; own success removes the
+    // node at the engine level.
+  }
+
+ private:
+  const SendProfile* profile_;
+  slot_t arrival_;
+};
+
+}  // namespace
+
+ProfileProtocolFactory::ProfileProtocolFactory(SendProfile profile)
+    : profile_(std::move(profile)) {}
+
+std::unique_ptr<NodeProtocol> ProfileProtocolFactory::spawn(node_id, slot_t arrival, Rng&) {
+  return std::make_unique<ProfileNode>(&profile_, arrival);
+}
+
+}  // namespace cr

@@ -1,0 +1,69 @@
+// The paper's h-batch subroutine (§2.1) and probability-profile protocols.
+//
+// A node running h-batch from slot l broadcasts with probability
+// min(1, h(k)) in slot l − 1 + k, for k = 1, 2, ....
+//
+// With h(x) = 1/x this is exactly the "standard implementation of binary
+// exponential backoff" the paper analyses (Claim 3.5.1); with
+// h(x) = c₃·log(x)/x it is the Phase-3 control batch.
+//
+// SendProfile is the value type describing h; ProfileProtocol runs one
+// h-batch per node starting at its arrival slot until its own success.
+// Profiles ignore all foreign feedback, making ProfileProtocol also the
+// *non-adaptive fixed-sequence* protocol family of Theorem 4.2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/functions.hpp"
+#include "protocols/protocol.hpp"
+
+namespace cr {
+
+/// A named per-age sending-probability profile. Age starts at 1.
+class SendProfile {
+ public:
+  SendProfile(std::string name, std::function<double(std::uint64_t)> prob);
+
+  double operator()(std::uint64_t age) const { return prob_(age); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::function<double(std::uint64_t)> prob_;
+};
+
+namespace profiles {
+
+/// h_data(k) = min(1, 1/k) — exponential-backoff-style batch.
+SendProfile h_data();
+
+/// h_ctrl(k) = min(1, c₃·log2(k+2)/k).
+SendProfile h_ctrl(double c3 = 2.0);
+
+/// min(1, c/k^e) — polynomial decay (e = 1 recovers scaled h_data).
+SendProfile poly_decay(double c, double e);
+
+/// Constant probability p (slotted ALOHA).
+SendProfile aloha(double p);
+
+}  // namespace profiles
+
+/// Nodes run `profile` from their arrival slot until their own success.
+class ProfileProtocolFactory final : public ProtocolFactory {
+ public:
+  explicit ProfileProtocolFactory(SendProfile profile);
+
+  std::unique_ptr<NodeProtocol> spawn(node_id id, slot_t arrival, Rng& rng) override;
+  std::string name() const override { return "profile[" + profile_.name() + "]"; }
+
+  const SendProfile& profile() const { return profile_; }
+
+ private:
+  SendProfile profile_;
+};
+
+}  // namespace cr

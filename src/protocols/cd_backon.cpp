@@ -1,0 +1,56 @@
+#include "protocols/cd_backon.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cr {
+
+bool CdBackonNode::on_slot(slot_t, Rng& rng) { return rng.bernoulli(p_); }
+
+void CdBackonNode::on_feedback(slot_t, Feedback fb, bool, bool) {
+  // Degraded (no-CD) path: silence and collision are indistinguishable, so
+  // the only safe reaction to a wasted slot is to back off. This is exactly
+  // the paper's point — without CD the controller loses its backon signal.
+  if (fb == Feedback::kSilenceOrCollision) p_ = std::max(opts_.p_min, p_ / opts_.mult);
+}
+
+void CdBackonNode::on_feedback_cd(slot_t, CdFeedback fb, bool, bool) {
+  switch (fb) {
+    case CdFeedback::kCollision:
+      p_ = std::max(opts_.p_min, p_ / opts_.mult);
+      break;
+    case CdFeedback::kSilence:
+      p_ = std::min(opts_.p_max, p_ * opts_.mult);
+      break;
+    case CdFeedback::kSuccess:
+      break;  // a departure already reduces contention
+  }
+}
+
+namespace {
+
+class CdBackonFactory final : public ProtocolFactory {
+ public:
+  explicit CdBackonFactory(CdBackonOptions opts) : opts_(opts) {
+    CR_CHECK(opts.p0 > 0.0 && opts.p0 <= 1.0);
+    CR_CHECK(opts.mult > 1.0);
+    CR_CHECK(opts.p_min > 0.0 && opts.p_min <= opts.p_max);
+  }
+
+  std::unique_ptr<NodeProtocol> spawn(node_id, slot_t, Rng&) override {
+    return std::make_unique<CdBackonNode>(opts_);
+  }
+  std::string name() const override { return "cd-backon"; }
+
+ private:
+  CdBackonOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtocolFactory> cd_backon_factory(CdBackonOptions opts) {
+  return std::make_unique<CdBackonFactory>(opts);
+}
+
+}  // namespace cr

@@ -1,0 +1,106 @@
+#include "protocols/cjz_node.hpp"
+
+#include "common/check.hpp"
+
+namespace cr {
+
+double cjz_ctrl_prob(const FunctionSet& fs, slot_t l3, slot_t now) {
+  CR_DCHECK(now >= l3 + 1);
+  CR_DCHECK(parity_channel(now) == parity_channel(l3 + 1));
+  const std::uint64_t k = (now - (l3 + 1)) / 2 + 1;  // channel-local age, 1-based
+  return fs.h_ctrl(static_cast<double>(k));
+}
+
+double cjz_data_prob(const FunctionSet& /*fs*/, slot_t l3, slot_t now) {
+  CR_DCHECK(now >= l3 + 2);
+  CR_DCHECK(parity_channel(now) == parity_channel(l3 + 2));
+  const std::uint64_t k = (now - (l3 + 2)) / 2 + 1;
+  return FunctionSet::h_data(static_cast<double>(k));
+}
+
+double cjz_batch_prob(const FunctionSet& fs, slot_t l3, int proc_parity, bool ctrl, slot_t now) {
+  CR_DCHECK(parity_channel(now) == proc_parity);
+  const slot_t first = cjz_first_after(l3, proc_parity);
+  CR_DCHECK(now >= first);
+  const std::uint64_t k = (now - first) / 2 + 1;
+  return ctrl ? fs.h_ctrl(static_cast<double>(k))
+              : FunctionSet::h_data(static_cast<double>(k));
+}
+
+CjzNode::CjzNode(const FunctionSet* fs, slot_t arrival, Rng& /*rng*/, CjzOptions options)
+    : fs_(fs), opts_(options), backoff_(fs) {
+  CR_CHECK(fs_ != nullptr);
+  // Phase 1: backoff on the channel determined by the arrival slot's parity,
+  // starting at the arrival slot itself.
+  bkf_channel_ = parity_channel(arrival);
+  bkf_from_ = arrival;
+}
+
+bool CjzNode::on_slot(slot_t now, Rng& rng) {
+  switch (phase_) {
+    case Phase::kOne:
+    case Phase::kTwo:
+      if (parity_channel(now) == bkf_channel_ && now >= bkf_from_) return backoff_.step(rng);
+      return false;
+    case Phase::kThree: {
+      CR_DCHECK(now >= l3_ + 1);
+      const int p = parity_channel(now);
+      return rng.bernoulli(cjz_batch_prob(*fs_, l3_, p, p == ctrl_parity_, now));
+    }
+  }
+  CR_CHECK(false);
+  return false;
+}
+
+void CjzNode::on_feedback(slot_t now, Feedback fb, bool /*sent*/, bool own_success) {
+  if (own_success) return;  // engine removes this node; no transition needed
+  if (fb != Feedback::kSuccess) return;
+
+  switch (phase_) {
+    case Phase::kOne: {
+      if (!opts_.use_phase2) {
+        // Ablation: skip the synchronization round and enter Phase 3 on the
+        // first heard success.
+        phase_ = Phase::kThree;
+        l3_ = now;
+        ctrl_parity_ = opts_.swap_channels_on_restart ? parity_channel(now + 1)
+                                                      : parity_channel(now);
+        break;
+      }
+      // First heard success: its slot defines the data channel; run Phase-2
+      // backoff on the other channel, starting from the next slot (which is
+      // on that other channel by parity).
+      phase_ = Phase::kTwo;
+      bkf_channel_ = 1 - parity_channel(now);
+      bkf_from_ = now + 1;
+      // Phase 2 restarts backoff stages from scratch.
+      backoff_.reset();
+      break;
+    }
+    case Phase::kTwo:
+      if (parity_channel(now) == bkf_channel_) {
+        phase_ = Phase::kThree;
+        l3_ = now;
+        // Cohort convention: a cohort anchored at success slot s has control
+        // parity parity(s+1) (paper: the roles swap on every restart) or
+        // parity(s) in the pinned-roles ablation.
+        ctrl_parity_ = opts_.swap_channels_on_restart ? parity_channel(now + 1)
+                                                      : parity_channel(now);
+      }
+      break;
+    case Phase::kThree:
+      if (parity_channel(now) == ctrl_parity_) {
+        l3_ = now;  // restart
+        // Paper: new ctrl = parity(now+1) = 1 - old ctrl (swap). Ablation:
+        // parity(now) = old ctrl (pinned).
+        if (opts_.swap_channels_on_restart) ctrl_parity_ = 1 - ctrl_parity_;
+      }
+      break;
+  }
+}
+
+std::unique_ptr<NodeProtocol> CjzFactory::spawn(node_id, slot_t arrival, Rng& rng) {
+  return std::make_unique<CjzNode>(&fs_, arrival, rng, opts_);
+}
+
+}  // namespace cr

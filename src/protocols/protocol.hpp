@@ -1,0 +1,58 @@
+// Per-node protocol interface for the generic (reference) simulator.
+//
+// Lifecycle per slot, for every active node:
+//   1. bool send = on_slot(now, rng)    — decide whether to broadcast
+//   2. engine resolves the channel
+//   3. on_feedback(now, fb, sent, own_success)
+//   4. if own_success the engine removes the node (it leaves the system)
+//
+// Protocols must be deterministic functions of (their construction
+// arguments, the rng stream, the observed feedback): they may not peek at
+// the engine or at other nodes, matching the model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "channel/types.hpp"
+#include "common/rng.hpp"
+
+namespace cr {
+
+class NodeProtocol {
+ public:
+  virtual ~NodeProtocol() = default;
+
+  /// Decide whether to broadcast in slot `now` (absolute, 1-based).
+  virtual bool on_slot(slot_t now, Rng& rng) = 0;
+
+  /// Public feedback for slot `now`. `sent` echoes this node's decision;
+  /// `own_success` is true iff this node transmitted and won the slot.
+  virtual void on_feedback(slot_t now, Feedback fb, bool sent, bool own_success) = 0;
+
+  /// Ternary feedback for protocols that assume a collision-detection
+  /// mechanism (the comparison model of the paper's introduction). The
+  /// default collapses it to the no-CD binary feedback, so ordinary
+  /// protocols remain CD-blind; only CD protocols override this.
+  virtual void on_feedback_cd(slot_t now, CdFeedback fb, bool sent, bool own_success) {
+    on_feedback(now,
+                fb == CdFeedback::kSuccess ? Feedback::kSuccess
+                                           : Feedback::kSilenceOrCollision,
+                sent, own_success);
+  }
+};
+
+/// Creates protocol instances for arriving nodes.
+class ProtocolFactory {
+ public:
+  virtual ~ProtocolFactory() = default;
+
+  /// `arrival` is the slot at whose beginning the node joins (it may act in
+  /// that very slot).
+  virtual std::unique_ptr<NodeProtocol> spawn(node_id id, slot_t arrival, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cr

@@ -1,0 +1,248 @@
+// Unit tests for arrival processes, jammers and the scripted proof
+// adversaries: schedules, budgets and adaptivity behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "adversary/proof_adversaries.hpp"
+#include "channel/channel.hpp"
+#include "channel/trace.hpp"
+#include "exp/scenarios.hpp"
+
+namespace cr {
+namespace {
+
+/// Drives an arrival/jammer over `slots` slots against an all-silent
+/// history; returns cumulative counts per slot.
+struct Driver {
+  Trace trace;
+  PublicHistory hist{trace};
+  Rng rng{99};
+
+  void advance_silent(slot_t s) { trace.record(resolve_slot(s, 0, false, kNoNode)); }
+  void advance_success(slot_t s, node_id who) { trace.record(resolve_slot(s, 1, false, who)); }
+};
+
+TEST(Arrivals, BatchFiresOnce) {
+  auto arr = batch_arrival(50, 3);
+  Driver d;
+  std::uint64_t total = 0;
+  for (slot_t s = 1; s <= 10; ++s) {
+    const auto k = arr->arrivals(s, d.hist, d.rng);
+    if (s == 3) {
+      EXPECT_EQ(k, 50u);
+    } else {
+      EXPECT_EQ(k, 0u);
+    }
+    total += k;
+    d.advance_silent(s);
+  }
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(Arrivals, ScheduledMergesDuplicates) {
+  auto arr = scheduled_arrivals({{2, 3}, {2, 4}, {5, 1}});
+  Driver d;
+  EXPECT_EQ(arr->arrivals(2, d.hist, d.rng), 7u);
+  EXPECT_EQ(arr->arrivals(5, d.hist, d.rng), 1u);
+  EXPECT_EQ(arr->arrivals(3, d.hist, d.rng), 0u);
+}
+
+TEST(Arrivals, BernoulliRateApproximate) {
+  auto arr = bernoulli_arrivals(0.25, 1, 100000);
+  Driver d;
+  std::uint64_t total = 0;
+  for (slot_t s = 1; s <= 100000; ++s) total += arr->arrivals(s, d.hist, d.rng);
+  EXPECT_NEAR(static_cast<double>(total) / 100000.0, 0.25, 0.01);
+}
+
+TEST(Arrivals, BernoulliRateAboveOne) {
+  auto arr = bernoulli_arrivals(2.5, 1, 10000);
+  Driver d;
+  std::uint64_t total = 0;
+  for (slot_t s = 1; s <= 10000; ++s) {
+    const auto k = arr->arrivals(s, d.hist, d.rng);
+    EXPECT_GE(k, 2u);
+    EXPECT_LE(k, 3u);
+    total += k;
+  }
+  EXPECT_NEAR(static_cast<double>(total) / 10000.0, 2.5, 0.05);
+}
+
+TEST(Arrivals, BernoulliRespectsWindow) {
+  auto arr = bernoulli_arrivals(1.0, 10, 20);
+  Driver d;
+  EXPECT_EQ(arr->arrivals(9, d.hist, d.rng), 0u);
+  EXPECT_EQ(arr->arrivals(10, d.hist, d.rng), 1u);
+  EXPECT_EQ(arr->arrivals(20, d.hist, d.rng), 1u);
+  EXPECT_EQ(arr->arrivals(21, d.hist, d.rng), 0u);
+}
+
+TEST(Arrivals, UniformRandomTotalExact) {
+  auto arr = uniform_random_arrivals(500, 1000, 7);
+  Driver d;
+  std::uint64_t total = 0;
+  for (slot_t s = 1; s <= 1000; ++s) total += arr->arrivals(s, d.hist, d.rng);
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Arrivals, UniformRandomDeterministicInSeed) {
+  auto a1 = uniform_random_arrivals(100, 1000, 5);
+  auto a2 = uniform_random_arrivals(100, 1000, 5);
+  Driver d;
+  for (slot_t s = 1; s <= 1000; ++s)
+    EXPECT_EQ(a1->arrivals(s, d.hist, d.rng), a2->arrivals(s, d.hist, d.rng));
+}
+
+TEST(Arrivals, PacedTracksTarget) {
+  FunctionSet fs = functions_constant_g(4.0);
+  const double margin = 4.0;
+  auto arr = paced_arrivals(fs, margin);
+  Driver d;
+  std::uint64_t n_t = 0;
+  for (slot_t s = 1; s <= 50000; ++s) {
+    n_t += arr->arrivals(s, d.hist, d.rng);
+    const double target = static_cast<double>(s) / (margin * fs.f(static_cast<double>(s)));
+    EXPECT_LE(static_cast<double>(n_t), target + 1.0) << "slot " << s;
+  }
+  // And it should not be far below the target either.
+  const double final_target = 50000.0 / (margin * fs.f(50000.0));
+  EXPECT_GT(static_cast<double>(n_t), 0.9 * final_target);
+}
+
+TEST(Arrivals, BurstyPattern) {
+  auto arr = bursty_arrivals(10, 5, 1, 100);
+  Driver d;
+  EXPECT_EQ(arr->arrivals(1, d.hist, d.rng), 5u);
+  EXPECT_EQ(arr->arrivals(2, d.hist, d.rng), 0u);
+  EXPECT_EQ(arr->arrivals(11, d.hist, d.rng), 5u);
+  EXPECT_EQ(arr->arrivals(101, d.hist, d.rng), 0u);
+}
+
+TEST(Jammers, NoJamNeverJams) {
+  auto j = no_jam();
+  Driver d;
+  for (slot_t s = 1; s <= 100; ++s) EXPECT_FALSE(j->jams(s, d.hist, d.rng));
+}
+
+TEST(Jammers, PrefixExact) {
+  auto j = prefix_jammer(10);
+  Driver d;
+  for (slot_t s = 1; s <= 30; ++s) EXPECT_EQ(j->jams(s, d.hist, d.rng), s <= 10);
+}
+
+TEST(Jammers, IidFraction) {
+  auto j = iid_jammer(0.3);
+  Driver d;
+  std::uint64_t jams = 0;
+  for (slot_t s = 1; s <= 100000; ++s) jams += j->jams(s, d.hist, d.rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(jams) / 100000.0, 0.3, 0.01);
+}
+
+TEST(Jammers, PeriodicPattern) {
+  auto j = periodic_jammer(5, 2);
+  Driver d;
+  for (slot_t s = 1; s <= 20; ++s) {
+    const bool expect = ((s - 1) % 5) < 2;
+    EXPECT_EQ(j->jams(s, d.hist, d.rng), expect) << "slot " << s;
+  }
+}
+
+TEST(Jammers, BudgetPacedRespectsEnvelope) {
+  const GrowthFn g = fn::constant(4.0);
+  const double margin = 2.0;
+  auto j = budget_paced_jammer(g, margin);
+  Driver d;
+  std::uint64_t d_t = 0;
+  for (slot_t s = 1; s <= 20000; ++s) {
+    d_t += j->jams(s, d.hist, d.rng) ? 1 : 0;
+    EXPECT_LE(static_cast<double>(d_t), static_cast<double>(s) / (margin * 4.0) + 1.0);
+  }
+  EXPECT_GT(d_t, 2000u);  // it does spend the budget
+}
+
+TEST(Jammers, ReactiveOnlyAfterSuccess) {
+  auto j = reactive_jammer(fn::constant(2.0), 2.0, 2);
+  Driver d;
+  // No successes yet: never jams.
+  for (slot_t s = 1; s <= 50; ++s) {
+    EXPECT_FALSE(j->jams(s, d.hist, d.rng));
+    d.advance_silent(s);
+  }
+  d.advance_success(51, 3);
+  EXPECT_TRUE(j->jams(52, d.hist, d.rng));
+  EXPECT_TRUE(j->jams(53, d.hist, d.rng));
+  EXPECT_FALSE(j->jams(54, d.hist, d.rng));  // burst exhausted
+}
+
+TEST(Composed, CombinesBoth) {
+  ComposedAdversary adv(batch_arrival(3, 1), prefix_jammer(2));
+  Driver d;
+  const AdversaryAction a1 = adv.on_slot(1, d.hist, d.rng);
+  EXPECT_EQ(a1.inject, 3u);
+  EXPECT_TRUE(a1.jam);
+  d.advance_silent(1);
+  const AdversaryAction a3 = adv.on_slot(3, d.hist, d.rng);
+  EXPECT_EQ(a3.inject, 0u);
+  EXPECT_FALSE(a3.jam);
+  EXPECT_NE(adv.name().find("batch"), std::string::npos);
+}
+
+TEST(ProofAdversaries, Theorem42Shape) {
+  FunctionSet fs = functions_constant_g(4.0);
+  const slot_t t = 1 << 12;
+  auto adv = theorem42_adversary(t, fs);
+  Driver d;
+  const slot_t prefix = static_cast<slot_t>(t / (4.0 * 4.0));
+  std::uint64_t inj = 0, jams = 0;
+  for (slot_t s = 1; s <= t; ++s) {
+    const AdversaryAction act = adv->on_slot(s, d.hist, d.rng);
+    if (s == 1) { EXPECT_EQ(act.inject, 2u); }
+    if (s <= prefix || s == t) { EXPECT_TRUE(act.jam) << "slot " << s; }
+    inj += act.inject;
+    jams += act.jam ? 1 : 0;
+  }
+  EXPECT_EQ(jams, prefix + 1);
+  // 2 at the start plus t/(4f(t)) at the end.
+  EXPECT_GT(inj, 2u);
+}
+
+TEST(ProofAdversaries, Theorem13Budget) {
+  const slot_t t = 1 << 12;
+  const GrowthFn g = fn::constant(4.0);
+  auto adv = theorem13_adversary(t, g, 3);
+  Driver d;
+  std::uint64_t jams = 0, inj = 0;
+  for (slot_t s = 1; s <= t; ++s) {
+    const AdversaryAction act = adv->on_slot(s, d.hist, d.rng);
+    jams += act.jam ? 1 : 0;
+    inj += act.inject;
+  }
+  EXPECT_EQ(inj, 1u);
+  // At most t/(2g) + 1 jams (prefix + random; random may collide).
+  EXPECT_LE(jams, static_cast<std::uint64_t>(t / (2.0 * 4.0)) + 1);
+  EXPECT_GE(jams, static_cast<std::uint64_t>(t / (4.0 * 4.0)));
+}
+
+TEST(ProofAdversaries, Lemma41InjectionVolume) {
+  const slot_t t = 1 << 10;
+  auto adv = lemma41_adversary(t, 0.5, fn::log2p(1.0), 11);
+  Driver d;
+  std::uint64_t inj = 0;
+  bool jammed_any = false;
+  for (slot_t s = 1; s <= t; ++s) {
+    const AdversaryAction act = adv->on_slot(s, d.hist, d.rng);
+    inj += act.inject;
+    jammed_any |= act.jam;
+  }
+  EXPECT_FALSE(jammed_any) << "Lemma 4.1's adversary never jams";
+  // ~ sqrt(t)·(3 log t)/x1 batch-injected plus t/(2 h(t)) random-injected.
+  const double batch = std::floor(std::sqrt(static_cast<double>(t))) *
+                       std::ceil(3.0 * std::log2(static_cast<double>(t)) / 0.5);
+  EXPECT_GE(static_cast<double>(inj), batch);
+}
+
+}  // namespace
+}  // namespace cr

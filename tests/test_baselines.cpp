@@ -1,0 +1,96 @@
+// Unit tests for the baseline protocols: windowed backoff family window
+// geometry and the single-channel h-backoff protocol.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "exp/scenarios.hpp"
+#include "protocols/baselines.hpp"
+
+namespace cr {
+namespace {
+
+/// Counts sends of one node over slots [arrival, arrival+span).
+std::uint64_t count_sends(NodeProtocol& node, slot_t arrival, std::uint64_t span, Rng& rng) {
+  std::uint64_t sends = 0;
+  for (slot_t s = arrival; s < arrival + span; ++s) sends += node.on_slot(s, rng) ? 1 : 0;
+  return sends;
+}
+
+TEST(WindowedBackoff, BebOneSendPerWindow) {
+  // BEB windows 1,2,4,8 cover 15 slots -> exactly 4 sends.
+  WindowedBackoffOptions opts;
+  opts.scheme = WindowScheme::kBinaryExponential;
+  auto factory = windowed_backoff_factory(opts);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto node = factory->spawn(0, 5, rng);
+    EXPECT_EQ(count_sends(*node, 5, 15, rng), 4u) << "seed " << seed;
+  }
+}
+
+TEST(WindowedBackoff, BebFirstWindowSends) {
+  // Window 0 has length 1: the node always transmits at its arrival slot.
+  auto factory = windowed_backoff_factory({});
+  Rng rng(9);
+  auto node = factory->spawn(0, 42, rng);
+  EXPECT_TRUE(node->on_slot(42, rng));
+}
+
+TEST(WindowedBackoff, PolynomialWindows) {
+  // Windows 1,4,9,16 cover 30 slots -> exactly 4 sends.
+  WindowedBackoffOptions opts;
+  opts.scheme = WindowScheme::kPolynomial;
+  opts.poly_exponent = 2.0;
+  auto factory = windowed_backoff_factory(opts);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto node = factory->spawn(0, 1, rng);
+    EXPECT_EQ(count_sends(*node, 1, 30, rng), 4u) << "seed " << seed;
+  }
+}
+
+TEST(WindowedBackoff, SawtoothWindows) {
+  // Epochs: 2,1 then 4,2,1 then 8,4,2,1 -> cumulative 3, 10, 25; one send
+  // per window.
+  WindowedBackoffOptions opts;
+  opts.scheme = WindowScheme::kSawtooth;
+  auto factory = windowed_backoff_factory(opts);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto node = factory->spawn(0, 1, rng);
+    EXPECT_EQ(count_sends(*node, 1, 3, rng), 2u) << "seed " << seed;
+    EXPECT_EQ(count_sends(*node, 4, 7, rng), 3u) << "seed " << seed;
+    EXPECT_EQ(count_sends(*node, 11, 15, rng), 4u) << "seed " << seed;
+  }
+}
+
+TEST(WindowedBackoff, Names) {
+  EXPECT_EQ(windowed_backoff_factory({})->name(), "beb");
+  WindowedBackoffOptions poly;
+  poly.scheme = WindowScheme::kPolynomial;
+  EXPECT_NE(windowed_backoff_factory(poly)->name().find("poly"), std::string::npos);
+  WindowedBackoffOptions saw;
+  saw.scheme = WindowScheme::kSawtooth;
+  EXPECT_EQ(windowed_backoff_factory(saw)->name(), "sawtooth");
+}
+
+TEST(BackoffProtocol, SendsSparsely) {
+  auto factory = backoff_protocol_factory(functions_constant_g(4.0));
+  Rng rng(17);
+  auto node = factory->spawn(0, 1, rng);
+  const std::uint64_t T = 1 << 14;
+  std::uint64_t sends = 0;
+  for (slot_t s = 1; s <= T; ++s) sends += node->on_slot(s, rng) ? 1 : 0;
+  EXPECT_GE(sends, 15u);   // one per stage minimum
+  EXPECT_LE(sends, 400u);  // O(f log T), way below T
+}
+
+TEST(BackoffProtocol, Name) {
+  auto factory = backoff_protocol_factory(functions_constant_g(4.0));
+  EXPECT_NE(factory->name().find("h-backoff"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cr

@@ -1,0 +1,82 @@
+// Unit tests for send profiles and the profile protocol.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "protocols/batch.hpp"
+
+namespace cr {
+namespace {
+
+TEST(Profiles, HdataValues) {
+  const SendProfile p = profiles::h_data();
+  EXPECT_DOUBLE_EQ(p(1), 1.0);
+  EXPECT_DOUBLE_EQ(p(2), 0.5);
+  EXPECT_DOUBLE_EQ(p(10), 0.1);
+  EXPECT_EQ(p.name(), "h_data");
+}
+
+TEST(Profiles, HctrlValues) {
+  const SendProfile p = profiles::h_ctrl(2.0);
+  EXPECT_DOUBLE_EQ(p(1), 1.0);  // capped
+  for (std::uint64_t k : {10ull, 100ull, 10000ull}) {
+    EXPECT_GT(p(k), 0.0);
+    EXPECT_LE(p(k), 1.0);
+    EXPECT_GT(p(k), profiles::h_data()(k)) << "ctrl denser than data at k=" << k;
+  }
+}
+
+TEST(Profiles, PolyDecay) {
+  const SendProfile p = profiles::poly_decay(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(p(1), 1.0);
+  EXPECT_DOUBLE_EQ(p(10), 0.01);
+}
+
+TEST(Profiles, Aloha) {
+  const SendProfile p = profiles::aloha(0.25);
+  EXPECT_DOUBLE_EQ(p(1), 0.25);
+  EXPECT_DOUBLE_EQ(p(100000), 0.25);
+}
+
+TEST(ProfileProtocol, AgeOneSendsWithProbOne) {
+  ProfileProtocolFactory factory(profiles::h_data());
+  Rng rng(3);
+  // h_data(1) = 1: a node always transmits in its arrival slot.
+  for (slot_t arrival : {1ull, 2ull, 17ull, 1000ull}) {
+    auto node = factory.spawn(0, arrival, rng);
+    EXPECT_TRUE(node->on_slot(arrival, rng));
+  }
+}
+
+TEST(ProfileProtocol, EmpiricalRateMatchesProfile) {
+  ProfileProtocolFactory factory(profiles::aloha(0.2));
+  Rng rng(5);
+  auto node = factory.spawn(0, 1, rng);
+  int sends = 0;
+  const int T = 50000;
+  for (slot_t s = 1; s <= static_cast<slot_t>(T); ++s) sends += node->on_slot(s, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(sends) / T, 0.2, 0.01);
+}
+
+TEST(ProfileProtocol, IgnoresForeignFeedback) {
+  // The profile is a pure function of age: feeding successes must not change
+  // the distribution. Compare two nodes, one fed successes, same rng seeds.
+  ProfileProtocolFactory factory(profiles::h_data());
+  Rng r1(7), r2(7);
+  auto a = factory.spawn(0, 1, r1);
+  auto b = factory.spawn(1, 1, r2);
+  for (slot_t s = 1; s <= 1000; ++s) {
+    const bool sa = a->on_slot(s, r1);
+    const bool sb = b->on_slot(s, r2);
+    EXPECT_EQ(sa, sb) << "slot " << s;
+    a->on_feedback(s, Feedback::kSilenceOrCollision, sa, false);
+    b->on_feedback(s, Feedback::kSuccess, sb, false);  // fake foreign success
+  }
+}
+
+TEST(ProfileProtocol, FactoryName) {
+  ProfileProtocolFactory factory(profiles::h_data());
+  EXPECT_NE(factory.name().find("h_data"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cr

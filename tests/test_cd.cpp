@@ -1,0 +1,138 @@
+// Tests for the collision-detection contrast model: ternary feedback
+// mapping, backon/backoff dynamics, and the structural throughput gap the
+// paper's introduction describes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "channel/channel.hpp"
+#include "engine/generic_sim.hpp"
+#include "exp/scenarios.hpp"
+#include "protocols/cd_backon.hpp"
+
+namespace cr {
+namespace {
+
+TEST(CdFeedback, TruthTable) {
+  EXPECT_EQ(resolve_slot(1, 0, false, kNoNode).cd_feedback(), CdFeedback::kSilence);
+  EXPECT_EQ(resolve_slot(1, 1, false, 7).cd_feedback(), CdFeedback::kSuccess);
+  EXPECT_EQ(resolve_slot(1, 2, false, kNoNode).cd_feedback(), CdFeedback::kCollision);
+  // Jamming always sounds like a collision — even on an empty slot, and
+  // even when a lone sender transmitted.
+  EXPECT_EQ(resolve_slot(1, 0, true, kNoNode).cd_feedback(), CdFeedback::kCollision);
+  EXPECT_EQ(resolve_slot(1, 1, true, 7).cd_feedback(), CdFeedback::kCollision);
+}
+
+TEST(CdBackon, MultiplicativeDynamics) {
+  CdBackonOptions opts;
+  opts.p0 = 0.25;
+  CdBackonNode node(opts);
+  EXPECT_DOUBLE_EQ(node.sending_probability(), 0.25);
+  node.on_feedback_cd(1, CdFeedback::kCollision, true, false);
+  EXPECT_DOUBLE_EQ(node.sending_probability(), 0.125);
+  node.on_feedback_cd(2, CdFeedback::kSilence, false, false);
+  EXPECT_DOUBLE_EQ(node.sending_probability(), 0.25);
+  node.on_feedback_cd(3, CdFeedback::kSuccess, false, false);
+  EXPECT_DOUBLE_EQ(node.sending_probability(), 0.25) << "success leaves p unchanged";
+  // Backon is capped at p_max.
+  node.on_feedback_cd(4, CdFeedback::kSilence, false, false);
+  node.on_feedback_cd(5, CdFeedback::kSilence, false, false);
+  EXPECT_DOUBLE_EQ(node.sending_probability(), 0.5);
+}
+
+TEST(CdBackon, FloorGuard) {
+  CdBackonOptions opts;
+  opts.p0 = 0.5;
+  CdBackonNode node(opts);
+  for (int i = 0; i < 100; ++i) node.on_feedback_cd(i + 1, CdFeedback::kCollision, true, false);
+  EXPECT_GE(node.sending_probability(), opts.p_min);
+}
+
+TEST(CdBackon, NoCdPathOnlyDecays) {
+  // Through the binary (no-CD) path the controller never hears silence: a
+  // wasted slot can only lower p. This is the structural handicap.
+  CdBackonOptions opts;
+  opts.p0 = 0.5;
+  CdBackonNode node(opts);
+  node.on_feedback(1, Feedback::kSilenceOrCollision, false, false);
+  EXPECT_DOUBLE_EQ(node.sending_probability(), 0.25);
+  node.on_feedback(2, Feedback::kSuccess, false, false);
+  EXPECT_DOUBLE_EQ(node.sending_probability(), 0.25);
+}
+
+TEST(CdBackon, DrainsJammedBatchInLinearTime) {
+  // With CD, an n-batch under 25% jamming drains within a small constant
+  // multiple of n — the constant-throughput regime of the CD literature.
+  const std::uint64_t n = 256;
+  auto factory = cd_backon_factory({});
+  ComposedAdversary adv(batch_arrival(n, 1), iid_jammer(0.25));
+  SimConfig cfg;
+  cfg.horizon = 16 * n;
+  cfg.seed = 5;
+  cfg.stop_when_empty = true;
+  const SimResult res = run_generic(*factory, adv, cfg);
+  EXPECT_EQ(res.successes, n) << "must finish within 16n slots";
+}
+
+TEST(CdBackon, ConstantThroughputAcrossScales) {
+  // completion/n roughly flat as n quadruples (vs CJZ's log growth).
+  auto completion_over_n = [](std::uint64_t n) {
+    auto factory = cd_backon_factory({});
+    ComposedAdversary adv(batch_arrival(n, 1), no_jam());
+    SimConfig cfg;
+    cfg.horizon = 32 * n;
+    cfg.seed = 11;
+    cfg.stop_when_empty = true;
+    const SimResult res = run_generic(*factory, adv, cfg);
+    EXPECT_EQ(res.successes, n);
+    return static_cast<double>(res.last_success) / static_cast<double>(n);
+  };
+  const double small = completion_over_n(128);
+  const double large = completion_over_n(2048);
+  EXPECT_LT(large, 2.0 * small + 2.0) << "completion/n should not grow materially with n";
+}
+
+TEST(CdBackon, CollapsesWithoutCollisionDetection) {
+  // The identical controller with its feedback collapsed to binary stalls:
+  // after the first collisions p decays and, hearing only
+  // silence-or-collision, never recovers.
+  class Degraded final : public NodeProtocol {
+   public:
+    explicit Degraded(std::unique_ptr<NodeProtocol> inner) : inner_(std::move(inner)) {}
+    bool on_slot(slot_t now, Rng& rng) override { return inner_->on_slot(now, rng); }
+    void on_feedback(slot_t now, Feedback fb, bool sent, bool own) override {
+      inner_->on_feedback(now, fb, sent, own);
+    }
+    void on_feedback_cd(slot_t now, CdFeedback fb, bool sent, bool own) override {
+      inner_->on_feedback(now,
+                          fb == CdFeedback::kSuccess ? Feedback::kSuccess
+                                                     : Feedback::kSilenceOrCollision,
+                          sent, own);
+    }
+
+   private:
+    std::unique_ptr<NodeProtocol> inner_;
+  };
+  class DegradedFactory final : public ProtocolFactory {
+   public:
+    std::unique_ptr<NodeProtocol> spawn(node_id id, slot_t arrival, Rng& rng) override {
+      return std::make_unique<Degraded>(inner_->spawn(id, arrival, rng));
+    }
+    std::string name() const override { return "degraded"; }
+    std::unique_ptr<ProtocolFactory> inner_ = cd_backon_factory({});
+  };
+
+  const std::uint64_t n = 128;
+  DegradedFactory factory;
+  ComposedAdversary adv(batch_arrival(n, 1), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 32 * n;
+  cfg.seed = 7;
+  const SimResult res = run_generic(factory, adv, cfg);
+  EXPECT_LT(res.successes, n / 2) << "without CD the controller loses its backon signal";
+}
+
+}  // namespace
+}  // namespace cr

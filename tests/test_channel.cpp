@@ -1,0 +1,117 @@
+// Unit tests for channel semantics: the no-collision-detection feedback
+// model, slot resolution truth table, and the trace/public-history facade.
+#include <gtest/gtest.h>
+
+#include "channel/channel.hpp"
+#include "channel/trace.hpp"
+#include "channel/types.hpp"
+
+namespace cr {
+namespace {
+
+TEST(Types, ParityChannel) {
+  EXPECT_EQ(parity_channel(1), 1);
+  EXPECT_EQ(parity_channel(2), 0);
+  EXPECT_EQ(parity_channel(1001), 1);
+}
+
+TEST(ResolveSlot, TruthTable) {
+  // 0 senders: silence (indistinguishable from collision).
+  EXPECT_FALSE(resolve_slot(1, 0, false, kNoNode).success());
+  // 1 sender, no jam: success with that id.
+  const SlotOutcome one = resolve_slot(1, 1, false, 42);
+  EXPECT_TRUE(one.success());
+  EXPECT_EQ(one.winner, 42u);
+  EXPECT_EQ(one.feedback(), Feedback::kSuccess);
+  // 2+ senders: collision.
+  EXPECT_FALSE(resolve_slot(1, 2, false, kNoNode).success());
+  EXPECT_FALSE(resolve_slot(1, 100, false, kNoNode).success());
+  // Jamming kills even a lone sender.
+  EXPECT_FALSE(resolve_slot(1, 1, true, 42).success());
+  // Jammed empty slot: still silence-or-collision.
+  EXPECT_FALSE(resolve_slot(1, 0, true, kNoNode).success());
+}
+
+TEST(ResolveSlot, NoCollisionDetectionFeedback) {
+  // Silence, collision, and jam all map to the SAME feedback value — this is
+  // the defining property of the model.
+  const Feedback silence = resolve_slot(1, 0, false, kNoNode).feedback();
+  const Feedback collision = resolve_slot(1, 3, false, kNoNode).feedback();
+  const Feedback jammed = resolve_slot(1, 1, true, 7).feedback();
+  EXPECT_EQ(silence, Feedback::kSilenceOrCollision);
+  EXPECT_EQ(collision, silence);
+  EXPECT_EQ(jammed, silence);
+}
+
+TEST(Channel, AccumulatesSenders) {
+  Channel ch;
+  ch.begin_slot(1, false);
+  EXPECT_TRUE(ch.slot_open());
+  ch.broadcast(5);
+  const SlotOutcome out = ch.resolve();
+  EXPECT_FALSE(ch.slot_open());
+  EXPECT_TRUE(out.success());
+  EXPECT_EQ(out.winner, 5u);
+  EXPECT_EQ(out.senders, 1u);
+}
+
+TEST(Channel, CollisionLosesWinner) {
+  Channel ch;
+  ch.begin_slot(1, false);
+  ch.broadcast(1);
+  ch.broadcast(2);
+  const SlotOutcome out = ch.resolve();
+  EXPECT_FALSE(out.success());
+  EXPECT_EQ(out.senders, 2u);
+  EXPECT_EQ(out.winner, kNoNode);
+}
+
+TEST(Channel, JammedSlot) {
+  Channel ch;
+  ch.begin_slot(3, true);
+  ch.broadcast(9);
+  const SlotOutcome out = ch.resolve();
+  EXPECT_TRUE(out.jammed);
+  EXPECT_FALSE(out.success());
+  EXPECT_EQ(out.slot, 3u);
+}
+
+TEST(Channel, Reusable) {
+  Channel ch;
+  for (slot_t s = 1; s <= 10; ++s) {
+    ch.begin_slot(s, false);
+    if (s % 2 == 0) ch.broadcast(s);
+    const SlotOutcome out = ch.resolve();
+    EXPECT_EQ(out.success(), s % 2 == 0);
+  }
+}
+
+TEST(Trace, RecordsInOrder) {
+  Trace trace;
+  trace.record(resolve_slot(1, 0, false, kNoNode));
+  trace.record(resolve_slot(2, 1, false, 11));
+  trace.record(resolve_slot(3, 1, true, 12));
+  EXPECT_EQ(trace.slots(), 3u);
+  EXPECT_EQ(trace.total_successes(), 1u);
+  EXPECT_EQ(trace.total_jammed(), 1u);
+  EXPECT_EQ(trace.last_success_slot(), 2u);
+  EXPECT_EQ(trace.outcome(2).winner, 11u);
+}
+
+TEST(PublicHistory, ExposesOnlyPublicView) {
+  Trace trace;
+  PublicHistory hist(trace);
+  EXPECT_EQ(hist.slots(), 0u);
+  trace.record(resolve_slot(1, 5, false, kNoNode));   // collision
+  trace.record(resolve_slot(2, 0, true, kNoNode));    // jammed silence
+  trace.record(resolve_slot(3, 1, false, 77));        // success
+  EXPECT_EQ(hist.slots(), 3u);
+  EXPECT_EQ(hist.feedback(1), Feedback::kSilenceOrCollision);
+  EXPECT_EQ(hist.feedback(2), Feedback::kSilenceOrCollision);
+  EXPECT_TRUE(hist.was_success(3));
+  EXPECT_EQ(hist.total_successes(), 1u);
+  EXPECT_EQ(hist.last_success_slot(), 3u);
+}
+
+}  // namespace
+}  // namespace cr

@@ -1,0 +1,168 @@
+// Unit tests for the CJZ node state machine: phase transitions driven by
+// synthetic feedback, channel-parity bookkeeping, and Phase-3 probability
+// arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "exp/scenarios.hpp"
+#include "protocols/cjz_node.hpp"
+
+namespace cr {
+namespace {
+
+FunctionSet fs_const() { return functions_constant_g(4.0); }
+
+TEST(CjzNode, StartsInPhaseOneOnArrivalParity) {
+  const FunctionSet fs = fs_const();
+  Rng rng(1);
+  CjzNode odd(&fs, 7, rng);
+  EXPECT_EQ(odd.phase(), CjzNode::Phase::kOne);
+  EXPECT_EQ(odd.backoff_channel(), 1);
+  CjzNode even(&fs, 8, rng);
+  EXPECT_EQ(even.backoff_channel(), 0);
+}
+
+TEST(CjzNode, PhaseOneIgnoresNonSuccess) {
+  const FunctionSet fs = fs_const();
+  Rng rng(2);
+  CjzNode node(&fs, 1, rng);
+  for (slot_t s = 1; s <= 100; ++s)
+    node.on_feedback(s, Feedback::kSilenceOrCollision, false, false);
+  EXPECT_EQ(node.phase(), CjzNode::Phase::kOne);
+}
+
+TEST(CjzNode, PhaseOneToTwoOnAnySuccess) {
+  const FunctionSet fs = fs_const();
+  Rng rng(3);
+  // Success on an odd slot: data channel = odd, Phase-2 backoff on even.
+  CjzNode node(&fs, 2, rng);
+  node.on_feedback(9, Feedback::kSuccess, false, false);
+  EXPECT_EQ(node.phase(), CjzNode::Phase::kTwo);
+  EXPECT_EQ(node.backoff_channel(), 0);
+
+  // Success on an even slot: Phase-2 backoff on odd.
+  CjzNode node2(&fs, 2, rng);
+  node2.on_feedback(10, Feedback::kSuccess, false, false);
+  EXPECT_EQ(node2.backoff_channel(), 1);
+}
+
+TEST(CjzNode, PhaseTwoNeedsMatchingParity) {
+  const FunctionSet fs = fs_const();
+  Rng rng(4);
+  CjzNode node(&fs, 2, rng);
+  node.on_feedback(9, Feedback::kSuccess, false, false);  // -> P2 on even channel
+  ASSERT_EQ(node.backoff_channel(), 0);
+  // Success on odd slot: stays in Phase 2 (that is the data channel).
+  node.on_feedback(11, Feedback::kSuccess, false, false);
+  EXPECT_EQ(node.phase(), CjzNode::Phase::kTwo);
+  // Success on even slot: moves to Phase 3 with l3 = that slot.
+  node.on_feedback(14, Feedback::kSuccess, false, false);
+  EXPECT_EQ(node.phase(), CjzNode::Phase::kThree);
+  EXPECT_EQ(node.l3(), 14u);
+  EXPECT_EQ(node.ctrl_channel(), parity_channel(15));
+}
+
+TEST(CjzNode, PhaseThreeRestartSwapsChannels) {
+  const FunctionSet fs = fs_const();
+  Rng rng(5);
+  CjzNode node(&fs, 2, rng);
+  node.on_feedback(9, Feedback::kSuccess, false, false);   // P2, even channel
+  node.on_feedback(14, Feedback::kSuccess, false, false);  // P3, l3=14, ctrl=odd
+  ASSERT_EQ(node.ctrl_channel(), 1);
+  // Success on data channel (even): no restart.
+  node.on_feedback(20, Feedback::kSuccess, false, false);
+  EXPECT_EQ(node.l3(), 14u);
+  // Success on ctrl channel (odd): restart at that slot, ctrl swaps to even.
+  node.on_feedback(23, Feedback::kSuccess, false, false);
+  EXPECT_EQ(node.l3(), 23u);
+  EXPECT_EQ(node.ctrl_channel(), 0);
+}
+
+TEST(CjzNode, OwnSuccessFreezesState) {
+  const FunctionSet fs = fs_const();
+  Rng rng(6);
+  CjzNode node(&fs, 2, rng);
+  node.on_feedback(9, Feedback::kSuccess, true, true);  // its own transmission won
+  // The engine removes it; the node must not have transitioned.
+  EXPECT_EQ(node.phase(), CjzNode::Phase::kOne);
+}
+
+TEST(CjzNode, PhaseOneOnlySendsOnItsChannel) {
+  const FunctionSet fs = fs_const();
+  Rng rng(7);
+  CjzNode node(&fs, 4, rng);  // even channel
+  for (slot_t s = 4; s <= 5000; ++s) {
+    const bool sent = node.on_slot(s, rng);
+    if (parity_channel(s) == 1) EXPECT_FALSE(sent) << "sent on foreign channel, slot " << s;
+  }
+}
+
+TEST(CjzNode, PhaseThreeDataSlotOneIsCertain) {
+  // h_data(1) = 1: in slot l3+2 every Phase-3 node transmits on the data
+  // channel. And h_ctrl(1) = 1 (capped): slot l3+1 likewise on control.
+  const FunctionSet fs = fs_const();
+  Rng rng(8);
+  CjzNode node(&fs, 2, rng);
+  node.on_feedback(9, Feedback::kSuccess, false, false);
+  node.on_feedback(14, Feedback::kSuccess, false, false);  // l3 = 14
+  EXPECT_TRUE(node.on_slot(15, rng));  // ctrl k=1, prob 1
+  EXPECT_TRUE(node.on_slot(16, rng));  // data k=1, prob 1
+}
+
+TEST(CjzProbabilities, CtrlAndDataArithmetic) {
+  const FunctionSet fs = fs_const();
+  const slot_t l3 = 14;
+  // ctrl slots are l3+1, l3+3, ...: ages 1, 2, ...
+  EXPECT_DOUBLE_EQ(cjz_ctrl_prob(fs, l3, 15), fs.h_ctrl(1.0));
+  EXPECT_DOUBLE_EQ(cjz_ctrl_prob(fs, l3, 17), fs.h_ctrl(2.0));
+  EXPECT_DOUBLE_EQ(cjz_ctrl_prob(fs, l3, 15 + 2 * 99), fs.h_ctrl(100.0));
+  // data slots are l3+2, l3+4, ...
+  EXPECT_DOUBLE_EQ(cjz_data_prob(fs, l3, 16), 1.0);
+  EXPECT_DOUBLE_EQ(cjz_data_prob(fs, l3, 18), 0.5);
+  EXPECT_DOUBLE_EQ(cjz_data_prob(fs, l3, 16 + 2 * 9), 0.1);
+}
+
+TEST(CjzNode, PhaseTwoBackoffStartsAtNextSlot) {
+  // After a success at slot 9, Phase-2 backoff runs on even slots starting
+  // at 10; being stage 0 it must transmit at slot 10.
+  const FunctionSet fs = fs_const();
+  Rng rng(9);
+  CjzNode node(&fs, 2, rng);
+  node.on_feedback(9, Feedback::kSuccess, false, false);
+  EXPECT_FALSE(node.on_slot(11, rng)) << "odd slot is not its backoff channel";
+  EXPECT_TRUE(node.on_slot(10, rng)) << "stage-0 backoff sends at its first channel slot";
+}
+
+TEST(CjzFactory, SpawnAndName) {
+  CjzFactory factory(fs_const());
+  Rng rng(10);
+  auto node = factory.spawn(0, 5, rng);
+  EXPECT_NE(node, nullptr);
+  EXPECT_NE(factory.name().find("cjz"), std::string::npos);
+}
+
+class CjzRestartSweep : public ::testing::TestWithParam<slot_t> {};
+
+TEST_P(CjzRestartSweep, RepeatedRestartsAlternateParity) {
+  const FunctionSet fs = fs_const();
+  Rng rng(GetParam());
+  CjzNode node(&fs, 2, rng);
+  node.on_feedback(9, Feedback::kSuccess, false, false);
+  node.on_feedback(14, Feedback::kSuccess, false, false);
+  slot_t s = 14;
+  int ctrl = node.ctrl_channel();
+  for (int i = 0; i < 20; ++i) {
+    // Next success on the current control channel.
+    s += (parity_channel(s + 1) == ctrl) ? 1 : 2;
+    ASSERT_EQ(parity_channel(s), ctrl);
+    node.on_feedback(s, Feedback::kSuccess, false, false);
+    EXPECT_EQ(node.l3(), s);
+    EXPECT_EQ(node.ctrl_channel(), 1 - ctrl) << "restart must swap channels";
+    ctrl = node.ctrl_channel();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CjzRestartSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cr

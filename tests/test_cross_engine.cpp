@@ -1,0 +1,140 @@
+// Cross-validation: the fast cohort engines must be statistically
+// indistinguishable from the generic reference engine on the same scenarios.
+// Exact trajectory coupling is impossible (different rng consumption), so we
+// compare distribution summaries over many seeds with wide tolerances —
+// deterministic, but sensitive to real semantic divergence.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "engine/fast_batch.hpp"
+#include "engine/fast_cjz.hpp"
+#include "engine/generic_sim.hpp"
+#include "exp/harness.hpp"
+#include "exp/scenarios.hpp"
+#include "protocols/batch.hpp"
+#include "protocols/cjz_node.hpp"
+
+namespace cr {
+namespace {
+
+SimResult run_cjz_generic_batch(std::uint64_t n, double jam, std::uint64_t seed) {
+  CjzFactory factory(functions_constant_g(4.0));
+  ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
+  SimConfig cfg;
+  cfg.horizon = 400'000;
+  cfg.seed = seed;
+  cfg.stop_when_empty = true;
+  return run_generic(factory, adv, cfg);
+}
+
+SimResult run_cjz_fast_batch(std::uint64_t n, double jam, std::uint64_t seed) {
+  FunctionSet fs = functions_constant_g(4.0);
+  ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
+  SimConfig cfg;
+  cfg.horizon = 400'000;
+  cfg.seed = seed;
+  cfg.stop_when_empty = true;
+  return run_fast_cjz(fs, adv, cfg);
+}
+
+TEST(CrossEngine, CjzBatchCompletionTimesAgree) {
+  const std::uint64_t n = 48;
+  const int reps = 24;
+  const auto gen = replicate(reps, 100, [&](std::uint64_t s) {
+    return run_cjz_generic_batch(n, 0.0, s);
+  });
+  const auto fast = replicate(reps, 100, [&](std::uint64_t s) {
+    return run_cjz_fast_batch(n, 0.0, s);
+  });
+  for (const auto& r : gen) ASSERT_EQ(r.successes, n);
+  for (const auto& r : fast) ASSERT_EQ(r.successes, n);
+  const auto m_gen = collect(gen, [](const SimResult& r) { return double(r.last_success); });
+  const auto m_fast = collect(fast, [](const SimResult& r) { return double(r.last_success); });
+  // Means within 35% of each other (generous; catches systematic drift).
+  EXPECT_LT(std::abs(m_gen.mean() - m_fast.mean()), 0.35 * std::max(m_gen.mean(), m_fast.mean()))
+      << "generic=" << m_gen.mean() << " fast=" << m_fast.mean();
+}
+
+TEST(CrossEngine, CjzBatchSendVolumesAgree) {
+  const std::uint64_t n = 48;
+  const int reps = 24;
+  const auto gen = replicate(reps, 300, [&](std::uint64_t s) {
+    return run_cjz_generic_batch(n, 0.0, s);
+  });
+  const auto fast = replicate(reps, 300, [&](std::uint64_t s) {
+    return run_cjz_fast_batch(n, 0.0, s);
+  });
+  const auto m_gen = collect(gen, [](const SimResult& r) { return double(r.total_sends); });
+  const auto m_fast = collect(fast, [](const SimResult& r) { return double(r.total_sends); });
+  EXPECT_LT(std::abs(m_gen.mean() - m_fast.mean()), 0.35 * std::max(m_gen.mean(), m_fast.mean()))
+      << "generic=" << m_gen.mean() << " fast=" << m_fast.mean();
+}
+
+TEST(CrossEngine, CjzUnderJammingAgrees) {
+  const std::uint64_t n = 32;
+  const int reps = 20;
+  const auto gen = replicate(reps, 500, [&](std::uint64_t s) {
+    return run_cjz_generic_batch(n, 0.25, s);
+  });
+  const auto fast = replicate(reps, 500, [&](std::uint64_t s) {
+    return run_cjz_fast_batch(n, 0.25, s);
+  });
+  const auto m_gen = collect(gen, [](const SimResult& r) { return double(r.last_success); });
+  const auto m_fast = collect(fast, [](const SimResult& r) { return double(r.last_success); });
+  EXPECT_LT(std::abs(m_gen.mean() - m_fast.mean()), 0.4 * std::max(m_gen.mean(), m_fast.mean()));
+}
+
+TEST(CrossEngine, HdataBatchAgrees) {
+  // h_data completion has a truncated-Pareto tail (the lone-survivor phase),
+  // so means of last_success are horizon-dominated and noisy. Compare a
+  // concentrated statistic instead: successes within a fixed window.
+  const std::uint64_t n = 64;
+  const int reps = 24;
+  const slot_t window = 4096;
+  const auto gen = replicate(reps, 700, [&](std::uint64_t s) {
+    ProfileProtocolFactory factory(profiles::h_data());
+    ComposedAdversary adv(batch_arrival(n, 1), no_jam());
+    SimConfig cfg;
+    cfg.horizon = window;
+    cfg.seed = s;
+    return run_generic(factory, adv, cfg);
+  });
+  const auto fast = replicate(reps, 700, [&](std::uint64_t s) {
+    ComposedAdversary adv(batch_arrival(n, 1), no_jam());
+    SimConfig cfg;
+    cfg.horizon = window;
+    cfg.seed = s;
+    return run_fast_batch(profiles::h_data(), adv, cfg);
+  });
+  const auto m_gen = collect(gen, [](const SimResult& r) { return double(r.successes); });
+  const auto m_fast = collect(fast, [](const SimResult& r) { return double(r.successes); });
+  EXPECT_LT(std::abs(m_gen.mean() - m_fast.mean()),
+            0.15 * std::max(m_gen.mean(), m_fast.mean()) + 1.0)
+      << "generic=" << m_gen.mean() << " fast=" << m_fast.mean();
+}
+
+TEST(CrossEngine, DynamicArrivalFirstSuccessAgrees) {
+  const int reps = 24;
+  auto run_one = [&](bool fast_engine, std::uint64_t s) {
+    FunctionSet fs = functions_constant_g(4.0);
+    ComposedAdversary adv(bernoulli_arrivals(0.01, 1, 5000), no_jam());
+    SimConfig cfg;
+    cfg.horizon = 20'000;
+    cfg.seed = s;
+    if (fast_engine) return run_fast_cjz(fs, adv, cfg);
+    CjzFactory factory(fs);
+    return run_generic(factory, adv, cfg);
+  };
+  const auto gen = replicate(reps, 900, [&](std::uint64_t s) { return run_one(false, s); });
+  const auto fast = replicate(reps, 900, [&](std::uint64_t s) { return run_one(true, s); });
+  const auto s_gen = collect(gen, [](const SimResult& r) { return double(r.successes); });
+  const auto s_fast = collect(fast, [](const SimResult& r) { return double(r.successes); });
+  EXPECT_LT(std::abs(s_gen.mean() - s_fast.mean()),
+            0.25 * std::max(s_gen.mean(), s_fast.mean()) + 2.0);
+}
+
+}  // namespace
+}  // namespace cr

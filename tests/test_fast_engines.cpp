@@ -1,0 +1,203 @@
+// Unit tests for the fast engines (cohort CJZ and cohort batch): invariants
+// that hold regardless of randomness, plus calendar-queue mechanics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "engine/calendar.hpp"
+#include "engine/fast_batch.hpp"
+#include "engine/fast_cjz.hpp"
+#include "exp/scenarios.hpp"
+#include "protocols/batch.hpp"
+
+namespace cr {
+namespace {
+
+ComposedAdversary make_adv(std::unique_ptr<ArrivalProcess> a, std::unique_ptr<Jammer> j) {
+  return ComposedAdversary(std::move(a), std::move(j));
+}
+
+TEST(Calendar, OrdersBySlotThenKind) {
+  Calendar cal;
+  cal.push({5, CalendarEvent::Kind::kSend, 1, 0});
+  cal.push({5, CalendarEvent::Kind::kStageBegin, 2, 0});
+  cal.push({3, CalendarEvent::Kind::kSend, 3, 0});
+  EXPECT_FALSE(cal.pop_due(2).has_value());
+  auto e1 = cal.pop_due(3);
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->node, 3u);
+  EXPECT_FALSE(cal.pop_due(3).has_value());
+  auto e2 = cal.pop_due(5);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->kind, CalendarEvent::Kind::kStageBegin) << "stage-begins first within a slot";
+  auto e3 = cal.pop_due(5);
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_EQ(e3->kind, CalendarEvent::Kind::kSend);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(Calendar, PushWhileDraining) {
+  Calendar cal;
+  cal.push({4, CalendarEvent::Kind::kStageBegin, 1, 0});
+  auto e = cal.pop_due(4);
+  ASSERT_TRUE(e.has_value());
+  // Simulate a stage-begin scheduling a send in the same slot.
+  cal.push({4, CalendarEvent::Kind::kSend, 1, 0});
+  auto e2 = cal.pop_due(4);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->kind, CalendarEvent::Kind::kSend);
+}
+
+TEST(FastCjz, NoArrivalsMeansNothingHappens) {
+  FunctionSet fs = functions_constant_g(4.0);
+  auto adv = make_adv(no_arrivals(), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 1000;
+  const SimResult res = run_fast_cjz(fs, adv, cfg);
+  EXPECT_EQ(res.arrivals, 0u);
+  EXPECT_EQ(res.successes, 0u);
+  EXPECT_EQ(res.active_slots, 0u);
+  EXPECT_EQ(res.total_sends, 0u);
+}
+
+TEST(FastCjz, SingleNodeDrains) {
+  FunctionSet fs = functions_constant_g(4.0);
+  auto adv = make_adv(batch_arrival(1, 9), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 10'000;
+  cfg.seed = 21;
+  cfg.stop_when_empty = true;
+  const SimResult res = run_fast_cjz(fs, adv, cfg);
+  EXPECT_EQ(res.successes, 1u);
+  // The lone node's stage-0 backoff transmits at its arrival slot: success
+  // at slot 9 exactly.
+  EXPECT_EQ(res.first_success, 9u);
+}
+
+TEST(FastCjz, ConservationAndTraceConsistency) {
+  FunctionSet fs = functions_constant_g(4.0);
+  auto adv = make_adv(batch_arrival(100, 1), iid_jammer(0.2));
+  SimConfig cfg;
+  cfg.horizon = 300'000;
+  cfg.seed = 31;
+  cfg.stop_when_empty = true;
+  FastCjzSimulator sim(fs, adv, cfg);
+  const SimResult res = sim.run();
+  EXPECT_EQ(res.successes + res.live_at_end, res.arrivals);
+  EXPECT_EQ(sim.trace().total_successes(), res.successes);
+  EXPECT_EQ(sim.trace().total_jammed(), res.jammed_slots);
+  for (slot_t s = 1; s <= res.slots; ++s) {
+    const SlotOutcome& out = sim.trace().outcome(s);
+    if (out.jammed) { EXPECT_FALSE(out.success()); }
+    if (out.success()) EXPECT_EQ(out.senders, 1u);
+  }
+}
+
+TEST(FastCjz, NodeStatsRecorded) {
+  FunctionSet fs = functions_constant_g(4.0);
+  auto adv = make_adv(batch_arrival(64, 1), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 200'000;
+  cfg.seed = 37;
+  cfg.stop_when_empty = true;
+  cfg.record_node_stats = true;
+  const SimResult res = run_fast_cjz(fs, adv, cfg);
+  EXPECT_EQ(res.node_stats.size(), 64u);
+  for (const auto& ns : res.node_stats) {
+    EXPECT_TRUE(ns.departed());
+    EXPECT_EQ(ns.arrival, 1u);
+    EXPECT_GE(ns.departure, ns.arrival);
+  }
+}
+
+TEST(FastBatch, SingleNodeImmediateSuccess) {
+  auto adv = make_adv(batch_arrival(1, 5), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 100;
+  cfg.stop_when_empty = true;
+  const SimResult res = run_fast_batch(profiles::h_data(), adv, cfg);
+  EXPECT_EQ(res.successes, 1u);
+  EXPECT_EQ(res.first_success, 5u) << "h_data(1)=1: transmits at arrival";
+}
+
+TEST(FastBatch, PairCollidesAtArrival) {
+  // Two nodes, h_data(1)=1: both transmit at slot 1 -> guaranteed collision.
+  auto adv = make_adv(batch_arrival(2, 1), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 10'000;
+  cfg.seed = 41;
+  cfg.stop_when_empty = true;
+  FastBatchSimulator sim(profiles::h_data(), adv, cfg);
+  const SimResult res = sim.run();
+  EXPECT_EQ(sim.trace().outcome(1).senders, 2u);
+  EXPECT_FALSE(sim.trace().outcome(1).success());
+  EXPECT_EQ(res.successes, 2u) << "both eventually get through";
+}
+
+TEST(FastBatch, ConservationUnderJamming) {
+  auto adv = make_adv(batch_arrival(200, 1), iid_jammer(0.3));
+  SimConfig cfg;
+  cfg.horizon = 200'000;
+  cfg.seed = 43;
+  FastBatchSimulator sim(profiles::h_data(), adv, cfg);
+  const SimResult res = sim.run();
+  EXPECT_EQ(res.successes + res.live_at_end, 200u);
+  for (slot_t s = 1; s <= res.slots; ++s) {
+    const SlotOutcome& out = sim.trace().outcome(s);
+    if (out.jammed) { EXPECT_FALSE(out.success()); }
+  }
+}
+
+TEST(FastBatch, MultipleCohortLatencies) {
+  // No stop_when_empty: the first cohort drains before slot 1000 and the
+  // engine must keep going for the second batch.
+  auto adv = make_adv(scheduled_arrivals({{1, 10}, {1000, 10}}), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 100'000;
+  cfg.seed = 47;
+  cfg.record_node_stats = true;
+  const SimResult res = run_fast_batch(profiles::h_data(), adv, cfg);
+  EXPECT_EQ(res.successes, 20u);
+  int early = 0, late = 0;
+  for (const auto& ns : res.node_stats) {
+    if (ns.arrival == 1) ++early;
+    if (ns.arrival == 1000) ++late;
+    EXPECT_GE(ns.departure, ns.arrival);
+  }
+  EXPECT_EQ(early, 10);
+  EXPECT_EQ(late, 10);
+}
+
+TEST(FastBatch, AlohaSaturationNeverResolves) {
+  // Two aloha(1.0) nodes collide forever in the cohort engine too.
+  auto adv = make_adv(batch_arrival(2, 1), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 1000;
+  const SimResult res = run_fast_batch(profiles::aloha(1.0), adv, cfg);
+  EXPECT_EQ(res.successes, 0u);
+  EXPECT_EQ(res.total_sends, 2000u);
+}
+
+TEST(FastEngines, ObserverPlumbing) {
+  class Counter final : public SlotObserver {
+   public:
+    std::uint64_t calls = 0;
+    void on_slot(const SlotOutcome&, std::uint64_t, std::uint64_t) override { ++calls; }
+  };
+  FunctionSet fs = functions_constant_g(4.0);
+  auto adv1 = make_adv(batch_arrival(10, 1), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 5000;
+  Counter c1;
+  run_fast_cjz(fs, adv1, cfg, &c1);
+  EXPECT_EQ(c1.calls, 5000u);
+  auto adv2 = make_adv(batch_arrival(10, 1), no_jam());
+  Counter c2;
+  run_fast_batch(profiles::h_data(), adv2, cfg, &c2);
+  EXPECT_EQ(c2.calls, 5000u);
+}
+
+}  // namespace
+}  // namespace cr

@@ -1,0 +1,167 @@
+// Unit tests for the growth-function library: preset values, the derived
+// f / h_ctrl / h_data / backoff-send functions, and the Remark-1
+// sub-logarithmic diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/functions.hpp"
+
+namespace cr {
+namespace {
+
+TEST(GrowthFn, ConstantPreset) {
+  const GrowthFn g = fn::constant(4.0);
+  EXPECT_DOUBLE_EQ(g(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(g(1e9), 4.0);
+  EXPECT_EQ(g.name(), "const(4)");
+}
+
+TEST(GrowthFn, Log2pPreset) {
+  const GrowthFn g = fn::log2p(1.0);
+  EXPECT_NEAR(g(2.0), 2.0, 1e-12);   // log2(4)
+  EXPECT_NEAR(g(14.0), 4.0, 1e-12);  // log2(16)
+  EXPECT_GT(g(0.0), 0.0);
+}
+
+TEST(GrowthFn, PolyLogPreset) {
+  const GrowthFn g = fn::poly_log(2.0, 2.0);
+  EXPECT_NEAR(g(2.0), 2.0 * 4.0, 1e-12);  // 2·log2(4)²
+}
+
+TEST(GrowthFn, ExpSqrtLogPreset) {
+  const GrowthFn g = fn::exp_sqrt_log(1.0);
+  EXPECT_NEAR(g(14.0), std::exp2(2.0), 1e-9);  // 2^sqrt(log2 16) = 2^2
+  EXPECT_GT(g(1e6), g(100.0));
+}
+
+TEST(GrowthFn, PolyPreset) {
+  const GrowthFn g = fn::poly(0.5);
+  EXPECT_NEAR(g(16.0), 4.0, 1e-12);
+}
+
+TEST(FunctionSet, ConstantGGivesLogarithmicF) {
+  FunctionSet fs;
+  fs.g = fn::constant(4.0);
+  fs.cf = 1.0;
+  // f(x) = log2(x+2) / log2(4)² = log2(x+2)/4.
+  EXPECT_NEAR(fs.f(14.0), 1.0, 1e-9);
+  EXPECT_NEAR(fs.f(1022.0), 2.5, 1e-9);
+  // f grows logarithmically: doubling x adds a constant.
+  const double d1 = fs.f(1 << 12) - fs.f(1 << 11);
+  const double d2 = fs.f(1 << 20) - fs.f(1 << 19);
+  EXPECT_NEAR(d1, d2, 0.01);
+}
+
+TEST(FunctionSet, ExpSqrtLogGGivesConstantF) {
+  FunctionSet fs;
+  fs.g = fn::exp_sqrt_log(1.0);
+  fs.cf = 1.0;
+  // f(x) = log2(x+2) / (sqrt(log2(x+2)))² = 1 exactly (Remark 2's regime).
+  EXPECT_NEAR(fs.f(10.0), 1.0, 1e-9);
+  EXPECT_NEAR(fs.f(1e8), 1.0, 1e-9);
+}
+
+TEST(FunctionSet, FNonDecreasingForPresets) {
+  // f is an asymptotic object: for g = log the denominator log²(log x)
+  // briefly outgrows the numerator at tiny x, so we check monotonicity on
+  // the asymptotic range x >= 2^10.
+  for (FunctionSet fs : {FunctionSet{fn::constant(4.0)}, FunctionSet{fn::log2p(1.0)},
+                         FunctionSet{fn::exp_sqrt_log(1.0)}}) {
+    double prev = fs.f(1024.0);
+    for (double x = 2048.0; x <= 1e9; x *= 2.0) {
+      const double cur = fs.f(x);
+      EXPECT_GE(cur + 1e-9, prev) << fs.describe() << " at x=" << x;
+      prev = cur;
+    }
+  }
+}
+
+TEST(FunctionSet, BackoffSendsAtLeastOne) {
+  FunctionSet fs;
+  fs.g = fn::constant(1024.0);  // large g -> tiny f
+  for (std::uint64_t len = 1; len <= (1ull << 20); len <<= 1)
+    EXPECT_GE(fs.backoff_sends(len), 1u);
+}
+
+TEST(FunctionSet, BackoffSendsCappedByStage) {
+  FunctionSet fs;
+  fs.g = fn::constant(2.0);
+  fs.cf = 100.0;  // force huge f
+  EXPECT_LE(fs.backoff_sends(1), 1u);
+  EXPECT_LE(fs.backoff_sends(2), 2u);
+  EXPECT_LE(fs.backoff_sends(4), 4u);
+}
+
+TEST(FunctionSet, BackoffSendsScaleWithA) {
+  FunctionSet fs;
+  fs.g = fn::constant(2.0);
+  fs.cf = 8.0;
+  fs.a = 1.0;
+  const auto dense = fs.backoff_sends(1 << 16);
+  fs.a = 4.0;
+  const auto sparse = fs.backoff_sends(1 << 16);
+  EXPECT_GT(dense, sparse);
+}
+
+TEST(FunctionSet, HctrlShape) {
+  FunctionSet fs;
+  fs.c_ctrl = 2.0;
+  EXPECT_DOUBLE_EQ(fs.h_ctrl(1.0), 1.0);  // capped at 1
+  EXPECT_GT(fs.h_ctrl(100.0), fs.h_ctrl(1000.0));
+  EXPECT_NEAR(fs.h_ctrl(1 << 20), 2.0 * std::log2((1 << 20) + 2.0) / (1 << 20), 1e-9);
+}
+
+TEST(FunctionSet, HdataExact) {
+  EXPECT_DOUBLE_EQ(FunctionSet::h_data(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FunctionSet::h_data(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FunctionSet::h_data(1000.0), 0.001);
+}
+
+TEST(FunctionSet, HctrlDominatesHdata) {
+  // The control batch must stay denser than the data batch (by the log
+  // factor) so control successes arrive by slot Θ(n).
+  FunctionSet fs;
+  for (double x = 8.0; x <= 1e8; x *= 4.0) EXPECT_GT(fs.h_ctrl(x), FunctionSet::h_data(x));
+}
+
+TEST(FunctionSet, Describe) {
+  FunctionSet fs;
+  fs.g = fn::constant(4.0);
+  EXPECT_NE(fs.describe().find("const(4)"), std::string::npos);
+}
+
+TEST(Sublogarithmic, AcceptsPaperFamilies) {
+  EXPECT_TRUE(check_sublogarithmic(fn::constant(4.0)).ok());
+  EXPECT_TRUE(check_sublogarithmic(fn::log2p(1.0)).ok());
+  const GrowthFn log_exp_sqrt("log2(2^sqrt(log))",
+                              [](double x) { return std::sqrt(std::log2(x + 2.0)); });
+  EXPECT_TRUE(check_sublogarithmic(log_exp_sqrt).ok());
+}
+
+TEST(Sublogarithmic, RejectsPolynomial) {
+  const SublogReport rep = check_sublogarithmic(fn::poly(0.5));
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Sublogarithmic, RejectsDecreasing) {
+  const GrowthFn dec("1/x", [](double x) { return 1.0 / x; });
+  EXPECT_FALSE(check_sublogarithmic(dec).non_decreasing);
+}
+
+class FRegimeRatio : public ::testing::TestWithParam<double> {};
+
+TEST_P(FRegimeRatio, FScalesInverselyWithLogSquaredG) {
+  // Fix x, scale g: f should shrink like 1/log²(g) (the paper's trade-off).
+  const double x = 1 << 20;
+  FunctionSet small_g{fn::constant(4.0)};
+  FunctionSet big_g{fn::constant(GetParam())};
+  const double expect = std::pow(std::log2(GetParam()) / 2.0, 2.0);
+  EXPECT_NEAR(small_g.f(x) / big_g.f(x), expect, 0.05 * expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(GSweep, FRegimeRatio, ::testing::Values(16.0, 64.0, 256.0, 1024.0));
+
+}  // namespace
+}  // namespace cr

@@ -1,0 +1,48 @@
+// Unit tests for the experiment harness.
+#include <gtest/gtest.h>
+
+#include "exp/harness.hpp"
+
+namespace cr {
+namespace {
+
+SimResult fake_result(std::uint64_t seed) {
+  SimResult r;
+  r.successes = seed * 10;
+  r.slots = 100;
+  return r;
+}
+
+TEST(Harness, ReplicateUsesSequentialSeeds) {
+  const auto results = replicate(5, 10, fake_result);
+  ASSERT_EQ(results.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(results[i].successes, (10u + i) * 10);
+}
+
+TEST(Harness, CollectAggregates) {
+  const auto results = replicate(4, 1, fake_result);  // successes 10,20,30,40
+  const Accumulator acc = collect(results, [](const SimResult& r) {
+    return static_cast<double>(r.successes);
+  });
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 25.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 40.0);
+}
+
+TEST(Harness, Fraction) {
+  const auto results = replicate(4, 1, fake_result);
+  const double frac = fraction(results, [](const SimResult& r) { return r.successes >= 30; });
+  EXPECT_DOUBLE_EQ(frac, 0.5);
+  EXPECT_DOUBLE_EQ(fraction({}, [](const SimResult&) { return true; }), 0.0);
+}
+
+TEST(Harness, MeanSdFormat) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  EXPECT_EQ(mean_sd(acc, 1), "2.0±1.4");
+}
+
+}  // namespace
+}  // namespace cr

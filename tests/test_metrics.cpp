@@ -1,0 +1,113 @@
+// Unit tests for metrics: latency/energy reports, success windows, and the
+// online (f,g)-throughput checker fed with synthetic slot outcomes.
+#include <gtest/gtest.h>
+
+#include "channel/channel.hpp"
+#include "exp/scenarios.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/throughput_check.hpp"
+
+namespace cr {
+namespace {
+
+SimResult synthetic_result() {
+  SimResult res;
+  res.node_stats = {
+      {0, 1, 10, 3},   // latency 10
+      {1, 1, 5, 1},    // latency 5
+      {2, 2, 21, 7},   // latency 20
+      {3, 4, 0, 2},    // stranded
+  };
+  res.success_times = {5, 10, 21};
+  res.successes = 3;
+  return res;
+}
+
+TEST(Metrics, LatencyReport) {
+  const LatencyReport rep = latency_report(synthetic_result());
+  EXPECT_EQ(rep.departed, 3u);
+  EXPECT_EQ(rep.stranded, 1u);
+  EXPECT_NEAR(rep.mean, (10.0 + 5.0 + 20.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.p50, 10.0);
+  EXPECT_DOUBLE_EQ(rep.max, 20.0);
+}
+
+TEST(Metrics, EnergyReport) {
+  const EnergyReport rep = energy_report(synthetic_result());
+  EXPECT_EQ(rep.departed, 3u);
+  EXPECT_NEAR(rep.mean, (3.0 + 1.0 + 7.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.max, 7.0);
+}
+
+TEST(Metrics, EmptyReports) {
+  SimResult res;
+  EXPECT_EQ(latency_report(res).departed, 0u);
+  EXPECT_EQ(energy_report(res).departed, 0u);
+}
+
+TEST(Metrics, SuccessesInWindow) {
+  const SimResult res = synthetic_result();
+  EXPECT_EQ(successes_in_window(res, 1, 100), 3u);
+  EXPECT_EQ(successes_in_window(res, 5, 10), 2u);
+  EXPECT_EQ(successes_in_window(res, 6, 9), 0u);
+  EXPECT_EQ(successes_in_window(res, 21, 21), 1u);
+}
+
+TEST(Metrics, MaxLatencyForArrivals) {
+  const SimResult res = synthetic_result();
+  EXPECT_EQ(max_latency_for_arrivals(res, 1, 1), 10u);
+  EXPECT_EQ(max_latency_for_arrivals(res, 1, 2), 20u);
+  EXPECT_EQ(max_latency_for_arrivals(res, 3, 9), 0u) << "node 3 never departed";
+}
+
+TEST(ThroughputChecker, CountersTrackOutcomes) {
+  ThroughputChecker checker(functions_constant_g(4.0));
+  // slot 1: 2 arrivals, active, no jam.
+  checker.on_slot(resolve_slot(1, 2, false, kNoNode), 2, 2);
+  // slot 2: jammed, active.
+  checker.on_slot(resolve_slot(2, 1, true, kNoNode), 0, 2);
+  // slot 3: success, active.
+  checker.on_slot(resolve_slot(3, 1, false, 7), 0, 2);
+  // slot 4: idle.
+  checker.on_slot(resolve_slot(4, 0, false, kNoNode), 0, 0);
+  EXPECT_EQ(checker.arrivals(), 2u);
+  EXPECT_EQ(checker.jammed(), 1u);
+  EXPECT_EQ(checker.active(), 3u);
+  EXPECT_EQ(checker.slots(), 4u);
+}
+
+TEST(ThroughputChecker, BoundArithmetic) {
+  FunctionSet fs = functions_constant_g(4.0);
+  ThroughputChecker checker(fs);
+  checker.on_slot(resolve_slot(1, 0, true, kNoNode), 3, 3);
+  // n=3, d=1, t=1: bound = 3·f(1) + 1·g(1).
+  const double expect = 3.0 * fs.f(1.0) + 4.0;
+  EXPECT_NEAR(checker.bound(), expect, 1e-12);
+  EXPECT_NEAR(checker.final_ratio(), 1.0 / expect, 1e-12);
+}
+
+TEST(ThroughputChecker, MaxRatioTracksWorstSlot) {
+  FunctionSet fs = functions_constant_g(4.0);
+  ThroughputChecker checker(fs);
+  // 1 arrival then long active streak with no arrivals/jams: ratio grows.
+  checker.on_slot(resolve_slot(1, 0, false, kNoNode), 1, 1);
+  for (slot_t s = 2; s <= 100; ++s)
+    checker.on_slot(resolve_slot(s, 0, false, kNoNode), 0, 1);
+  EXPECT_GT(checker.max_ratio(), checker.final_ratio() * 0.99);
+  EXPECT_GE(checker.max_ratio_slot(), 1u);
+  // a_t = 100, bound = f(100) ≈ log2(102)/4 ≈ 1.67 -> ratio ~ 60.
+  EXPECT_GT(checker.max_ratio(), 10.0);
+}
+
+TEST(ThroughputChecker, SeriesSampling) {
+  ThroughputChecker checker(functions_constant_g(4.0), 10);
+  for (slot_t s = 1; s <= 100; ++s)
+    checker.on_slot(resolve_slot(s, 0, false, kNoNode), s == 1 ? 1 : 0, 1);
+  ASSERT_EQ(checker.series().size(), 10u);
+  EXPECT_EQ(checker.series().front().t, 10u);
+  EXPECT_EQ(checker.series().back().t, 100u);
+  EXPECT_EQ(checker.series().back().a_t, 100u);
+}
+
+}  // namespace
+}  // namespace cr

@@ -1,0 +1,162 @@
+// Property suites (parameterized): invariants that must hold across the
+// whole (n × jamming × g-regime) grid, with fixed seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "engine/fast_batch.hpp"
+#include "engine/fast_cjz.hpp"
+#include "exp/harness.hpp"
+#include "exp/scenarios.hpp"
+#include "metrics/throughput_check.hpp"
+#include "protocols/batch.hpp"
+
+namespace cr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CJZ batch property: every message eventually gets through, under any
+// jamming level below saturation, and the run respects basic accounting.
+// ---------------------------------------------------------------------------
+
+using BatchParam = std::tuple<std::uint64_t /*n*/, double /*jam*/>;
+
+class CjzBatchProperty : public ::testing::TestWithParam<BatchParam> {};
+
+TEST_P(CjzBatchProperty, DrainsAndAccountsCorrectly) {
+  const auto [n, jam] = GetParam();
+  FunctionSet fs = functions_constant_g(4.0);
+  ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
+  SimConfig cfg;
+  cfg.horizon = 2'000'000;
+  cfg.seed = 1000 + n;
+  cfg.stop_when_empty = true;
+  FastCjzSimulator sim(fs, adv, cfg);
+  const SimResult res = sim.run();
+
+  EXPECT_EQ(res.successes, n) << "all messages delivered";
+  EXPECT_EQ(res.live_at_end, 0u);
+  EXPECT_GE(res.total_sends, res.successes);
+  EXPECT_LE(res.active_slots, res.slots);
+  EXPECT_EQ(res.arrivals, n);
+  // No success in a jammed slot; winners are unique senders.
+  for (slot_t s = 1; s <= res.slots; ++s) {
+    const SlotOutcome& out = sim.trace().outcome(s);
+    if (out.jammed) { ASSERT_FALSE(out.success()) << "slot " << s; }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CjzBatchProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 4, 16, 64, 200),
+                       ::testing::Values(0.0, 0.15, 0.3)));
+
+// ---------------------------------------------------------------------------
+// Throughput-bound property across all three g regimes of the paper: under a
+// smooth adversary the (f,g) ratio stays bounded by a small constant.
+// ---------------------------------------------------------------------------
+
+struct RegimeCase {
+  const char* name;
+  int regime;  // 0 const, 1 log, 2 exp-sqrt-log
+};
+
+class ThroughputRegime : public ::testing::TestWithParam<RegimeCase> {};
+
+TEST_P(ThroughputRegime, SmoothAdversaryRatioBounded) {
+  FunctionSet fs;
+  switch (GetParam().regime) {
+    case 0: fs = functions_constant_g(4.0); break;
+    case 1: fs = functions_log_g(); break;
+    default: fs = functions_exp_sqrt_log_g(1.0); break;
+  }
+  Scenario sc = smooth_scenario(1 << 15, fs, 8.0, 8.0);
+  sc.config.seed = 77;
+  ThroughputChecker checker(sc.fs);
+  const SimResult res = run_fast_cjz(sc.fs, *sc.adversary, sc.config, &checker);
+  EXPECT_GT(res.arrivals, 10u);
+  EXPECT_LT(checker.max_ratio(), 8.0) << GetParam().name;
+  // The system keeps up: most arrivals depart.
+  EXPECT_GT(static_cast<double>(res.successes), 0.85 * static_cast<double>(res.arrivals))
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, ThroughputRegime,
+                         ::testing::Values(RegimeCase{"const", 0}, RegimeCase{"log", 1},
+                                           RegimeCase{"exp_sqrt_log", 2}),
+                         [](const ::testing::TestParamInfo<RegimeCase>& info) {
+                           return info.param.name;
+                         });
+
+// ---------------------------------------------------------------------------
+// h_data batch property (the paper's Remark after Claim 3.5.1): a constant
+// fraction of n messages goes through within O(n) slots, even under constant
+// jamming — but completing ALL of them takes longer (see test_claims.cpp).
+// ---------------------------------------------------------------------------
+
+using RobustParam = std::tuple<std::uint64_t /*n*/, double /*jam*/>;
+
+class BatchFractionProperty : public ::testing::TestWithParam<RobustParam> {};
+
+TEST_P(BatchFractionProperty, ConstantFractionWithinLinearTime) {
+  const auto [n, jam] = GetParam();
+  ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
+  SimConfig cfg;
+  cfg.horizon = 8 * n;
+  cfg.seed = 2000 + n;
+  cfg.record_success_times = true;
+  const SimResult res = run_fast_batch(profiles::h_data(), adv, cfg);
+  EXPECT_GE(res.successes, n / 5)
+      << "h_data-batch should deliver >=20% of n within 8n slots (jam=" << jam << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BatchFractionProperty,
+                         ::testing::Combine(::testing::Values<std::uint64_t>(256, 1024, 4096),
+                                            ::testing::Values(0.0, 0.25)));
+
+// ---------------------------------------------------------------------------
+// Monotone jamming property: more jamming can only slow the batch down
+// (statistically, averaged over seeds).
+// ---------------------------------------------------------------------------
+
+TEST(JammingMonotonicity, MeanCompletionGrowsWithJamRate) {
+  const std::uint64_t n = 96;
+  auto run_at = [&](double jam, std::uint64_t seed) {
+    FunctionSet fs = functions_constant_g(4.0);
+    ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
+    SimConfig cfg;
+    cfg.horizon = 2'000'000;
+    cfg.seed = seed;
+    cfg.stop_when_empty = true;
+    return run_fast_cjz(fs, adv, cfg);
+  };
+  const int reps = 12;
+  const auto none = collect(replicate(reps, 3000, [&](std::uint64_t s) { return run_at(0.0, s); }),
+                            [](const SimResult& r) { return double(r.last_success); });
+  const auto heavy = collect(replicate(reps, 3000, [&](std::uint64_t s) { return run_at(0.35, s); }),
+                             [](const SimResult& r) { return double(r.last_success); });
+  EXPECT_GT(heavy.mean(), none.mean());
+}
+
+// ---------------------------------------------------------------------------
+// Reactive (adaptive) jamming: the algorithm still drains the batch when the
+// adversary targets post-success slots.
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveJamming, ReactiveJammerDoesNotStallBatch) {
+  const std::uint64_t n = 128;
+  FunctionSet fs = functions_constant_g(4.0);
+  ComposedAdversary adv(batch_arrival(n, 1), reactive_jammer(fs.g, 2.0, 2));
+  SimConfig cfg;
+  cfg.horizon = 2'000'000;
+  cfg.seed = 4000;
+  cfg.stop_when_empty = true;
+  const SimResult res = run_fast_cjz(fs, adv, cfg);
+  EXPECT_EQ(res.successes, n);
+}
+
+}  // namespace
+}  // namespace cr

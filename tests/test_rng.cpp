@@ -1,0 +1,198 @@
+// Unit tests for the RNG substrate: determinism, ranges, and distribution
+// moments (loose statistical tolerances with fixed seeds — deterministic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cr {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, AdjacentSeedsAreDecorrelated) {
+  // splitmix64 seeding should make streams from seeds k and k+1 independent;
+  // check the leading bits disagree about half the time.
+  Rng a(1000), b(1001);
+  int agree = 0;
+  const int kTrials = 4096;
+  for (int i = 0; i < kTrials; ++i)
+    if ((a.next_u64() >> 63) == (b.next_u64() >> 63)) ++agree;
+  EXPECT_NEAR(static_cast<double>(agree) / kTrials, 0.5, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng f1 = a.fork(1);
+  Rng f2 = a.fork(2);
+  Rng f1b = a.fork(1);
+  EXPECT_EQ(f1.next_u64(), f1b.next_u64()) << "fork must be deterministic";
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Mean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(11);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_u64(n), n);
+  }
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformU64RoughlyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(10)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.uniform_range(3, 3), 3);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliMean) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BinomialDegenerateCases) {
+  Rng rng(31);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+struct BinomialCase {
+  std::uint64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(37 + n);
+  const int trials = 20000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto x = static_cast<double>(rng.binomial(n, p));
+    EXPECT_LE(x, static_cast<double>(n));
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / trials;
+  const double var = sumsq / trials - mean * mean;
+  const double expect_mean = static_cast<double>(n) * p;
+  const double expect_var = expect_mean * (1.0 - p);
+  EXPECT_NEAR(mean, expect_mean, 0.05 * expect_mean + 0.1);
+  EXPECT_NEAR(var, expect_var, 0.15 * expect_var + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallLargeRegimes, BinomialMoments,
+                         ::testing::Values(BinomialCase{10, 0.5},        // coin-by-coin
+                                           BinomialCase{64, 0.25},       // boundary
+                                           BinomialCase{1000, 0.01},     // inversion
+                                           BinomialCase{5000, 0.002},    // inversion, tiny p
+                                           BinomialCase{100000, 0.01},   // normal approx
+                                           BinomialCase{1 << 20, 0.001},  // normal approx
+                                           BinomialCase{500, 0.9}));     // symmetry branch
+
+TEST(Rng, GeometricMean) {
+  Rng rng(41);
+  const double p = 0.2;
+  const int trials = 50000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.geometric(p));
+  // E[failures before success] = (1-p)/p = 4.
+  EXPECT_NEAR(sum / trials, 4.0, 0.15);
+}
+
+TEST(Rng, GeometricCertain) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, Normal01Moments) {
+  Rng rng(47);
+  const int n = 100000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal01();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, SeedAccessor) {
+  Rng rng(999);
+  EXPECT_EQ(rng.seed(), 999u);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace cr
