@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
   for (std::uint64_t n = 64; n <= max_n; n <<= 1) {
     for (const char* which : {"cjz", "beb", "sawtooth", "poly", "h_data"}) {
       const Outcome o = race(which, n, reps, 61000);
-      const std::string med = (o.capped ? ">" : "") + format_double(o.median_completion, 0);
+      std::string med = o.capped ? ">" : "";
+      med += format_double(o.median_completion, 0);
       table.add_row({Cell(n), which, med,
                      Cell(o.median_completion / static_cast<double>(n), 1),
                      Cell(o.frac_by_32n, 3)});

@@ -117,7 +117,9 @@ int main(int argc, char** argv) {
       const double cjz = median_completion("cjz", n, jam, reps, 98000, &cap_cjz);
       const double nocd = median_completion("no-cd", n, jam, reps, 99000, &cap_nocd);
       auto cell = [&](double v, bool cap) {
-        return (cap ? ">" : "") + format_double(v / static_cast<double>(n), 1);
+        std::string text = cap ? ">" : "";
+        text += format_double(v / static_cast<double>(n), 1);
+        return text;
       };
       table.add_row({Cell(n), Cell(jam, 2), cell(cd, cap_cd), cell(cjz, cap_cjz),
                      cell(nocd, cap_nocd)});

@@ -1,6 +1,11 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+
+#include "common/check.hpp"
 
 namespace cr {
 
@@ -33,12 +38,40 @@ std::string Cli::get_string(const std::string& name, const std::string& def) con
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return def;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t value = std::strtoll(text.c_str(), &end, 10);
+  const bool parsed =
+      !text.empty() && end == text.c_str() + text.size() && errno != ERANGE;
+  if (!parsed) {
+    std::fprintf(stderr, "Cli: flag --%s expects an integer, got \"%s\"\n",
+                 name.c_str(), text.c_str());
+  }
+  CR_CHECK(parsed);
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return def;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  // ERANGE only counts as failure on overflow: glibc also sets it for
+  // representable subnormals (underflow), which are legitimate inputs.
+  const bool overflow =
+      errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL);
+  const bool parsed =
+      !text.empty() && end == text.c_str() + text.size() && !overflow;
+  if (!parsed) {
+    std::fprintf(stderr, "Cli: flag --%s expects a number, got \"%s\"\n",
+                 name.c_str(), text.c_str());
+  }
+  CR_CHECK(parsed);
+  return value;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {

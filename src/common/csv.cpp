@@ -1,6 +1,7 @@
 #include "common/csv.hpp"
 
-#include <sstream>
+#include <charconv>
+#include <system_error>
 
 #include "common/check.hpp"
 
@@ -30,10 +31,12 @@ void CsvWriter::row_numeric(const std::vector<double>& values) {
   std::vector<std::string> cells;
   cells.reserve(values.size());
   for (double v : values) {
-    std::ostringstream ss;
-    ss.precision(6);
-    ss << v;
-    cells.push_back(ss.str());
+    // to_chars emits the shortest text that parses back to the identical
+    // double; precision(6) silently truncated anything >= 1e6.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    CR_CHECK(res.ec == std::errc());
+    cells.emplace_back(buf, res.ptr);
   }
   row(cells);
 }

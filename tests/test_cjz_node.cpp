@@ -93,7 +93,9 @@ TEST(CjzNode, PhaseOneOnlySendsOnItsChannel) {
   CjzNode node(&fs, 4, rng);  // even channel
   for (slot_t s = 4; s <= 5000; ++s) {
     const bool sent = node.on_slot(s, rng);
-    if (parity_channel(s) == 1) EXPECT_FALSE(sent) << "sent on foreign channel, slot " << s;
+    if (parity_channel(s) == 1) {
+      EXPECT_FALSE(sent) << "sent on foreign channel, slot " << s;
+    }
   }
 }
 

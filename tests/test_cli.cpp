@@ -1,0 +1,83 @@
+// Unit tests for Cli numeric-flag validation: malformed values must fail
+// loudly via CR_CHECK instead of silently parsing to 0.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace cr {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliValidate, AcceptsWellFormedNumbers) {
+  const Cli cli = make_cli({"--n=42", "--neg=-17", "--rate=0.25", "--exp=1e3"});
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_EQ(cli.get_int("neg", 0), -17);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(cli.get_double("exp", 0.0), 1000.0);
+}
+
+TEST(CliValidate, AcceptsSubnormalDouble) {
+  // glibc strtod sets ERANGE on underflow; a representable subnormal must
+  // still be accepted, not treated as a parse failure.
+  const Cli cli = make_cli({"--rate=1e-310"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 1e-310);
+}
+
+TEST(CliValidate, MissingFlagsFallBackToDefaults) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("n", 9), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.5), 0.5);
+}
+
+TEST(CliValidateDeathTest, RejectsGarbageInt) {
+  const Cli cli = make_cli({"--n=abc"});
+  EXPECT_DEATH(cli.get_int("n", 0), "expects an integer");
+}
+
+TEST(CliValidateDeathTest, RejectsTrailingJunkInt) {
+  const Cli cli = make_cli({"--n=12x"});
+  EXPECT_DEATH(cli.get_int("n", 0), "expects an integer");
+}
+
+TEST(CliValidateDeathTest, RejectsFloatAsInt) {
+  const Cli cli = make_cli({"--n=3.5"});
+  EXPECT_DEATH(cli.get_int("n", 0), "expects an integer");
+}
+
+TEST(CliValidateDeathTest, RejectsIntOverflow) {
+  const Cli cli = make_cli({"--n=99999999999999999999999999"});
+  EXPECT_DEATH(cli.get_int("n", 0), "expects an integer");
+}
+
+TEST(CliValidateDeathTest, RejectsDoubleOverflow) {
+  const Cli cli = make_cli({"--rate=1e999"});
+  EXPECT_DEATH(cli.get_double("rate", 0.0), "expects a number");
+}
+
+TEST(CliValidateDeathTest, RejectsGarbageDouble) {
+  const Cli cli = make_cli({"--rate=fast"});
+  EXPECT_DEATH(cli.get_double("rate", 0.0), "expects a number");
+}
+
+TEST(CliValidateDeathTest, RejectsTrailingJunkDouble) {
+  const Cli cli = make_cli({"--rate=0.5qq"});
+  EXPECT_DEATH(cli.get_double("rate", 0.0), "expects a number");
+}
+
+TEST(CliValidateDeathTest, RejectsBareBoolReadAsInt) {
+  // `--verbose` with no value stores "true"; asking for it as an int must
+  // abort rather than return 0.
+  const Cli cli = make_cli({"--verbose"});
+  EXPECT_DEATH(cli.get_int("verbose", 0), "expects an integer");
+}
+
+}  // namespace
+}  // namespace cr

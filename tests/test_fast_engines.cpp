@@ -91,7 +91,7 @@ TEST(FastCjz, ConservationAndTraceConsistency) {
   for (slot_t s = 1; s <= res.slots; ++s) {
     const SlotOutcome& out = sim.trace().outcome(s);
     if (out.jammed) { EXPECT_FALSE(out.success()); }
-    if (out.success()) EXPECT_EQ(out.senders, 1u);
+    if (out.success()) { EXPECT_EQ(out.senders, 1u); }
   }
 }
 

@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
@@ -51,6 +53,26 @@ TEST(Csv, WritesHeaderAndRows) {
   w.row_numeric({3.5, 4.0});
   EXPECT_EQ(os.str(), "a,b\n1,2\n3.5,4\n");
   EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, NumericRowsRoundTripExactly) {
+  // Values >= 1e6 used to be truncated by precision(6); every cell must now
+  // parse back to the bit-identical double.
+  const std::vector<double> values = {1234567.891011, 1e6 + 0.125, 9876543210.123,
+                                      1.0 / 3.0, -2.5e-7, 0.0};
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b", "c", "d", "e", "f"});
+  w.row_numeric(values);
+  std::istringstream is(os.str());
+  std::string header, line;
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, line));
+  std::istringstream cells(line);
+  std::string cell;
+  for (double expected : values) {
+    ASSERT_TRUE(std::getline(cells, cell, ','));
+    EXPECT_EQ(std::stod(cell), expected) << "cell text: " << cell;
+  }
 }
 
 TEST(Csv, EscapesSpecials) {
