@@ -11,15 +11,14 @@
 // We toggle each choice and measure (i) batch completion under jamming and
 // (ii) served fraction + bound ratio on a dynamic worst-case workload.
 //
-// Flags: --reps=N (default 10), --quick
+// Flags: --reps=N (default 10), --n, --quick, --threads
 #include <iostream>
 
 #include "adversary/arrivals.hpp"
 #include "adversary/jammers.hpp"
-#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "engine/fast_cjz.hpp"
+#include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/throughput_check.hpp"
@@ -35,36 +34,49 @@ struct Variant {
   double c_ctrl = 2.0;
 };
 
-void bench_variant(const Variant& v, std::uint64_t n, slot_t stream_t, int reps, Table& table) {
+void bench_variant(const Variant& v, std::uint64_t n, slot_t stream_t,
+                   const BenchDriver& driver, int reps, Table& table) {
   FunctionSet fs = functions_constant_g(4.0);
   fs.cf = v.cf;
   fs.c_ctrl = v.c_ctrl;
+  const ProtocolSpec spec = cjz_protocol(fs, v.opts);
+  const Engine& engine = EngineRegistry::instance().preferred(spec);
 
   // (i) batch of n under 25% jamming: median completion (capped).
+  const auto batch_runs = driver.replicate(reps, driver.seed(95000), [&](std::uint64_t s) {
+    Scenario sc = batch_scenario(n, 0.25, 400 * n, fs);
+    sc.protocol = spec;
+    sc.config.seed = s;
+    sc.config.stop_when_empty = true;
+    return run_scenario(engine, sc);
+  });
   Quantiles completion;
-  for (int r = 0; r < reps; ++r) {
-    ComposedAdversary adv(batch_arrival(n, 1), iid_jammer(0.25));
-    SimConfig cfg;
-    cfg.horizon = 400 * n;
-    cfg.seed = 95000 + static_cast<std::uint64_t>(r);
-    cfg.stop_when_empty = true;
-    const SimResult res = run_fast_cjz(fs, adv, cfg, nullptr, v.opts);
+  for (const SimResult& res : batch_runs)
     completion.add(static_cast<double>(res.live_at_end == 0 ? res.last_success : res.slots));
-  }
 
   // (ii) dynamic worst-case stream: paced arrivals + 25% jamming.
-  Accumulator served, ratio;
-  for (int r = 0; r < reps; ++r) {
+  struct StreamRep {
+    double served = 0;
+    double max_ratio = 0;
+  };
+  const auto stream_runs = driver.replicate(reps, driver.seed(96000), [&](std::uint64_t s) {
     ComposedAdversary adv(paced_arrivals(fs, 4.0), iid_jammer(0.25));
     SimConfig cfg;
     cfg.horizon = stream_t;
-    cfg.seed = 96000 + static_cast<std::uint64_t>(r);
+    cfg.seed = s;
     ThroughputChecker checker(fs);
-    const SimResult res = run_fast_cjz(fs, adv, cfg, &checker, v.opts);
-    served.add(res.arrivals ? static_cast<double>(res.successes) /
-                                  static_cast<double>(res.arrivals)
-                            : 1.0);
-    ratio.add(checker.max_ratio());
+    const SimResult res = engine.run(spec, adv, cfg, &checker);
+    StreamRep rep;
+    rep.served = res.arrivals
+                     ? static_cast<double>(res.successes) / static_cast<double>(res.arrivals)
+                     : 1.0;
+    rep.max_ratio = checker.max_ratio();
+    return rep;
+  });
+  Accumulator served, ratio;
+  for (const StreamRep& rep : stream_runs) {
+    served.add(rep.served);
+    ratio.add(rep.max_ratio);
   }
 
   table.add_row({v.label, Cell(completion.median(), 0),
@@ -75,11 +87,11 @@ void bench_variant(const Variant& v, std::uint64_t n, slot_t stream_t, int reps,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 4 : 10));
-  const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", quick ? 256 : 1024));
-  const slot_t stream_t = quick ? (1 << 15) : (1 << 17);
+  const BenchDriver driver(argc, argv,
+                           {"E12", "ablations of the algorithm's design choices", {"n"}});
+  const int reps = driver.reps(10, 4);
+  const auto n = static_cast<std::uint64_t>(driver.get_int("n", 1024, 256));
+  const slot_t stream_t = driver.quick() ? (1 << 15) : (1 << 17);
 
   std::cout << "E12: ablations of the algorithm's design choices (g = const(4))\n"
             << "batch: n = " << n << " under 25% jamming; stream: paced arrivals + 25% jam,\n"
@@ -98,7 +110,7 @@ int main(int argc, char** argv) {
       {"cf = 0.25 (sparse backoff)", {}, 0.25, 2.0},
       {"cf = 4 (dense backoff)", {}, 4.0, 2.0},
   };
-  for (const Variant& v : variants) bench_variant(v, n, stream_t, reps, table);
+  for (const Variant& v : variants) bench_variant(v, n, stream_t, driver, reps, table);
   table.print(std::cout);
 
   std::cout << "\nReading: the constants matter most — c3 off its sweet spot slows the batch\n"

@@ -6,18 +6,16 @@
 // jamming and report the median completion time (capped at the horizon) and
 // the fraction delivered within 32n slots.
 //
-// Flags: --reps=N (default 7), --max_n (default 512), --quick
+// Every contender is a ProtocolSpec; the registry picks the fastest engine
+// that can execute it (cohort engines for CJZ and the probability profile,
+// the per-node reference engine for the windowed schemes).
+//
+// Flags: --reps=N (default 7), --max_n (default 512), --quick, --threads
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "adversary/arrivals.hpp"
-#include "adversary/jammers.hpp"
-#include "common/cli.hpp"
-#include "common/stats.hpp"
 #include "common/table.hpp"
-#include "engine/fast_batch.hpp"
-#include "engine/fast_cjz.hpp"
-#include "engine/generic_sim.hpp"
+#include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/metrics.hpp"
@@ -28,40 +26,50 @@ using namespace cr;
 
 namespace {
 
+struct Contender {
+  const char* label;
+  ProtocolSpec spec;
+};
+
+std::vector<Contender> contenders(bool with_profile) {
+  std::vector<Contender> out;
+  out.push_back({"cjz", cjz_protocol(functions_constant_g(4.0))});
+  out.push_back({"beb", factory_protocol("windowed-beb", [] {
+                   return windowed_backoff_factory({});
+                 })});
+  out.push_back({"sawtooth", factory_protocol("windowed-sawtooth", [] {
+                   return windowed_backoff_factory({.scheme = WindowScheme::kSawtooth});
+                 })});
+  out.push_back({"poly", factory_protocol("windowed-poly", [] {
+                   return windowed_backoff_factory(
+                       {.scheme = WindowScheme::kPolynomial, .poly_exponent = 2.0});
+                 })});
+  if (with_profile) out.push_back({"h_data", profile_protocol(profiles::h_data())});
+  return out;
+}
+
 struct Outcome {
   double median_completion;
   double frac_by_32n;
   bool capped;
 };
 
-Outcome race(const char* which, std::uint64_t n, int reps, std::uint64_t base_seed) {
+Outcome race(const ProtocolSpec& spec, std::uint64_t n, const BenchDriver& driver, int reps,
+             std::uint64_t base_seed) {
+  const Engine& engine = EngineRegistry::instance().preferred(spec);
+  const slot_t horizon = 4000 * n;
+  const auto results = driver.replicate(reps, base_seed, [&](std::uint64_t s) {
+    Scenario sc = batch_scenario(n, 0.0, horizon, functions_constant_g(4.0));
+    sc.protocol = spec;
+    sc.config.seed = s;
+    sc.config.stop_when_empty = true;
+    sc.config.record_success_times = true;
+    return run_scenario(engine, sc);
+  });
   Quantiles completion;
   Accumulator frac;
   bool capped = false;
-  for (int r = 0; r < reps; ++r) {
-    ComposedAdversary adv(batch_arrival(n, 1), no_jam());
-    SimConfig cfg;
-    cfg.horizon = 4000 * n;
-    cfg.seed = base_seed + static_cast<std::uint64_t>(r);
-    cfg.stop_when_empty = true;
-    cfg.record_success_times = true;
-    SimResult res;
-    const std::string name = which;
-    if (name == "cjz") {
-      res = run_fast_cjz(functions_constant_g(4.0), adv, cfg);
-    } else if (name == "h_data") {
-      res = run_fast_batch(profiles::h_data(), adv, cfg);
-    } else {
-      WindowedBackoffOptions opts;
-      if (name == "beb") opts.scheme = WindowScheme::kBinaryExponential;
-      if (name == "poly") {
-        opts.scheme = WindowScheme::kPolynomial;
-        opts.poly_exponent = 2.0;
-      }
-      if (name == "sawtooth") opts.scheme = WindowScheme::kSawtooth;
-      auto factory = windowed_backoff_factory(opts);
-      res = run_generic(*factory, adv, cfg);
-    }
+  for (const SimResult& res : results) {
     if (res.live_at_end != 0) capped = true;
     completion.add(static_cast<double>(res.live_at_end == 0 ? res.last_success : res.slots));
     frac.add(static_cast<double>(successes_in_window(res, 1, 32 * n)) /
@@ -73,10 +81,11 @@ Outcome race(const char* which, std::uint64_t n, int reps, std::uint64_t base_se
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 3 : 7));
-  const std::uint64_t max_n = static_cast<std::uint64_t>(cli.get_int("max_n", quick ? 256 : 512));
+  const BenchDriver driver(argc, argv,
+                           {"E7", "CJZ vs classical backoff baselines", {"max_n"}});
+  const bool quick = driver.quick();
+  const int reps = driver.reps(7, 3);
+  const auto max_n = static_cast<std::uint64_t>(driver.get_int("max_n", 512, 256));
 
   std::cout << "E7: CJZ vs classical backoff baselines on an n-node batch (no jamming)\n"
             << "median completion (slots; '>' = some runs hit the horizon cap) and\n"
@@ -84,11 +93,11 @@ int main(int argc, char** argv) {
 
   Table table({"n", "protocol", "median completion", "completion/n", "frac by 32n"});
   for (std::uint64_t n = 64; n <= max_n; n <<= 1) {
-    for (const char* which : {"cjz", "beb", "sawtooth", "poly", "h_data"}) {
-      const Outcome o = race(which, n, reps, 61000);
+    for (const Contender& c : contenders(/*with_profile=*/true)) {
+      const Outcome o = race(c.spec, n, driver, reps, driver.seed(61000));
       std::string med = o.capped ? ">" : "";
       med += format_double(o.median_completion, 0);
-      table.add_row({Cell(n), which, med,
+      table.add_row({Cell(n), c.label, med,
                      Cell(o.median_completion / static_cast<double>(n), 1),
                      Cell(o.frac_by_32n, 3)});
     }
@@ -103,36 +112,30 @@ int main(int argc, char** argv) {
   Table t2({"t", "rate", "protocol", "arrivals", "served", "backlog at end"});
   const slot_t t = quick ? (1 << 15) : (1 << 17);
   for (const double rate : {0.1, 0.45}) {
-  for (const char* which : {"cjz", "beb", "sawtooth", "poly"}) {
-    Accumulator served, backlog, arrivals;
-    for (int r = 0; r < reps; ++r) {
-      ComposedAdversary adv(bernoulli_arrivals(rate, 1, t), no_jam());
-      SimConfig cfg;
-      cfg.horizon = t;
-      cfg.seed = 66000 + static_cast<std::uint64_t>(r);
-      SimResult res;
-      const std::string name = which;
-      if (name == "cjz") {
-        res = run_fast_cjz(functions_constant_g(4.0), adv, cfg);
-      } else {
-        WindowedBackoffOptions opts;
-        if (name == "poly") {
-          opts.scheme = WindowScheme::kPolynomial;
-          opts.poly_exponent = 2.0;
-        }
-        if (name == "sawtooth") opts.scheme = WindowScheme::kSawtooth;
-        auto factory = windowed_backoff_factory(opts);
-        res = run_generic(*factory, adv, cfg);
-      }
-      arrivals.add(static_cast<double>(res.arrivals));
-      served.add(res.arrivals ? static_cast<double>(res.successes) /
-                                    static_cast<double>(res.arrivals)
-                              : 1.0);
-      backlog.add(static_cast<double>(res.live_at_end));
+    for (const Contender& c : contenders(/*with_profile=*/false)) {
+      const Engine& engine = EngineRegistry::instance().preferred(c.spec);
+      ScenarioParams params;
+      params.horizon = t;
+      params.rate = rate;
+      params.jam = 0.0;
+      const auto results = driver.replicate(reps, driver.seed(66000), [&](std::uint64_t s) {
+        ScenarioParams p = params;
+        p.seed = s;
+        Scenario sc = ScenarioRegistry::instance().build("bernoulli_stream", p);
+        sc.protocol = c.spec;
+        return run_scenario(engine, sc);
+      });
+      const auto arrivals =
+          collect(results, [](const SimResult& r) { return static_cast<double>(r.arrivals); });
+      const auto served = collect(results, [](const SimResult& r) {
+        return r.arrivals ? static_cast<double>(r.successes) / static_cast<double>(r.arrivals)
+                          : 1.0;
+      });
+      const auto backlog =
+          collect(results, [](const SimResult& r) { return static_cast<double>(r.live_at_end); });
+      t2.add_row({Cell(static_cast<std::uint64_t>(t)), Cell(rate, 2), c.label,
+                  Cell(arrivals.mean(), 0), Cell(served.mean(), 3), mean_sd(backlog, 1)});
     }
-    t2.add_row({Cell(static_cast<std::uint64_t>(t)), Cell(rate, 2), which,
-                Cell(arrivals.mean(), 0), Cell(served.mean(), 3), mean_sd(backlog, 1)});
-  }
   }
   t2.print(std::cout);
 
@@ -140,32 +143,18 @@ int main(int argc, char** argv) {
   std::cout << "\nE7c: batch of n under 25% i.i.d. jamming — fraction delivered by 64n\n\n";
   Table t3({"n", "protocol", "frac by 64n"});
   const std::uint64_t nj = quick ? 128 : 256;
-  for (const char* which : {"cjz", "beb", "sawtooth", "poly", "h_data"}) {
-    Accumulator frac;
-    for (int r = 0; r < reps; ++r) {
-      ComposedAdversary adv(batch_arrival(nj, 1), iid_jammer(0.25));
-      SimConfig cfg;
-      cfg.horizon = 64 * nj;
-      cfg.seed = 67000 + static_cast<std::uint64_t>(r);
-      SimResult res;
-      const std::string name = which;
-      if (name == "cjz") {
-        res = run_fast_cjz(functions_constant_g(4.0), adv, cfg);
-      } else if (name == "h_data") {
-        res = run_fast_batch(profiles::h_data(), adv, cfg);
-      } else {
-        WindowedBackoffOptions opts;
-        if (name == "poly") {
-          opts.scheme = WindowScheme::kPolynomial;
-          opts.poly_exponent = 2.0;
-        }
-        if (name == "sawtooth") opts.scheme = WindowScheme::kSawtooth;
-        auto factory = windowed_backoff_factory(opts);
-        res = run_generic(*factory, adv, cfg);
-      }
-      frac.add(static_cast<double>(res.successes) / static_cast<double>(nj));
-    }
-    t3.add_row({Cell(nj), which, mean_sd(frac, 3)});
+  for (const Contender& c : contenders(/*with_profile=*/true)) {
+    const Engine& engine = EngineRegistry::instance().preferred(c.spec);
+    const auto results = driver.replicate(reps, driver.seed(67000), [&](std::uint64_t s) {
+      Scenario sc = batch_scenario(nj, 0.25, 64 * nj, functions_constant_g(4.0));
+      sc.protocol = c.spec;
+      sc.config.seed = s;
+      return run_scenario(engine, sc);
+    });
+    const auto frac = collect(results, [&](const SimResult& r) {
+      return static_cast<double>(r.successes) / static_cast<double>(nj);
+    });
+    t3.add_row({Cell(nj), c.label, mean_sd(frac, 3)});
   }
   t3.print(std::cout);
 

@@ -13,18 +13,15 @@
 //       (the all-n completion time has a truncated-Pareto tail driven by
 //       the lone-survivor phase, so its mean/median are very noisy).
 //
-// Flags: --reps=N (default 20), --max_n (default 4096), --quick
+// Flags: --reps=N (default 20), --max_n (default 4096), --quick, --threads
 #include <cmath>
 #include <iostream>
 #include <vector>
 
-#include "adversary/arrivals.hpp"
-#include "adversary/jammers.hpp"
-#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "engine/fast_batch.hpp"
-#include "engine/fast_cjz.hpp"
+#include "exp/bench_driver.hpp"
+#include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/metrics.hpp"
 #include "protocols/batch.hpp"
@@ -39,28 +36,30 @@ struct BatchStats {
   double median_90pct = 0;  ///< median slot of the ceil(0.9n)-th success
 };
 
-BatchStats measure(bool cjz, std::uint64_t n, int reps, std::uint64_t base_seed) {
+BatchStats measure(const ProtocolSpec& spec, std::uint64_t n, const BenchDriver& driver,
+                   int reps, std::uint64_t base_seed) {
+  const Engine& engine = EngineRegistry::instance().preferred(spec);
+  const slot_t horizon = 400 * n;
+  const auto results = driver.replicate(reps, base_seed, [&](std::uint64_t s) {
+    Scenario sc = batch_scenario(n, 0.0, horizon, functions_constant_g(4.0));
+    sc.protocol = spec;
+    sc.config.seed = s;
+    sc.config.record_success_times = true;
+    return run_scenario(engine, sc);
+  });
   BatchStats out;
   Quantiles q90;
-  int done50 = 0, done200 = 0;
-  for (int r = 0; r < reps; ++r) {
-    ComposedAdversary adv(batch_arrival(n, 1), no_jam());
-    SimConfig cfg;
-    cfg.horizon = 400 * n;
-    cfg.seed = base_seed + static_cast<std::uint64_t>(r);
-    cfg.record_success_times = true;
-    const SimResult res = cjz ? run_fast_cjz(functions_constant_g(4.0), adv, cfg)
-                              : run_fast_batch(profiles::h_data(), adv, cfg);
+  for (const SimResult& res : results) {
     const std::uint64_t target90 = (9 * n + 9) / 10;
     if (res.success_times.size() >= target90)
       q90.add(static_cast<double>(res.success_times[target90 - 1]));
     else
-      q90.add(static_cast<double>(cfg.horizon));  // censored
-    if (successes_in_window(res, 1, 50 * n) == n) ++done50;
-    if (successes_in_window(res, 1, 200 * n) == n) ++done200;
+      q90.add(static_cast<double>(horizon));  // censored
   }
-  out.p_done_by_50n = static_cast<double>(done50) / reps;
-  out.p_done_by_200n = static_cast<double>(done200) / reps;
+  out.p_done_by_50n =
+      fraction(results, [&](const SimResult& r) { return successes_in_window(r, 1, 50 * n) == n; });
+  out.p_done_by_200n = fraction(
+      results, [&](const SimResult& r) { return successes_in_window(r, 1, 200 * n) == n; });
   out.median_90pct = q90.median();
   return out;
 }
@@ -68,21 +67,25 @@ BatchStats measure(bool cjz, std::uint64_t n, int reps, std::uint64_t base_seed)
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 8 : 20));
-  const std::uint64_t max_n = static_cast<std::uint64_t>(cli.get_int("max_n", quick ? 1024 : 4096));
+  const BenchDriver driver(argc, argv,
+                           {"E3", "delivering ALL n batch messages (Claim 3.5.1)",
+                            {"max_n"}});
+  const int reps = driver.reps(20, 8);
+  const auto max_n = static_cast<std::uint64_t>(driver.get_int("max_n", 4096, 1024));
 
   std::cout << "E3 (Claim 3.5.1): delivering ALL n batch messages\n"
             << "Prediction: P[h_data-batch finishes within c*n slots] -> 0 as n grows\n"
             << "(omega(n) completion w.h.p.), while CJZ finishes in Theta(n log n).\n\n";
 
+  const ProtocolSpec cjz = cjz_protocol(functions_constant_g(4.0));
+  const ProtocolSpec h_data = profile_protocol(profiles::h_data());
+
   Table table({"n", "protocol", "P[done<=50n]", "P[done<=200n]", "median slots to 90%",
                "90% slots /n"});
   std::vector<double> log_n, log_cjz90;
   for (std::uint64_t n = 128; n <= max_n; n <<= 1) {
-    const BatchStats h = measure(false, n, reps, 21000);
-    const BatchStats c = measure(true, n, reps, 22000);
+    const BatchStats h = measure(h_data, n, driver, reps, driver.seed(21000));
+    const BatchStats c = measure(cjz, n, driver, reps, driver.seed(22000));
     table.add_row({Cell(n), "h_data", Cell(h.p_done_by_50n, 2), Cell(h.p_done_by_200n, 2),
                    Cell(h.median_90pct, 0), Cell(h.median_90pct / static_cast<double>(n), 1)});
     table.add_row({Cell(n), "cjz", Cell(c.p_done_by_50n, 2), Cell(c.p_done_by_200n, 2),

@@ -9,45 +9,50 @@
 // We sweep the jamming rate and report the fraction delivered within c·n
 // slots for c ∈ {2, 4, 8}.
 //
-// Flags: --n (default 4096), --reps=N (default 15), --quick
+// Flags: --n (default 4096), --reps=N (default 15), --quick, --threads
 #include <iostream>
 
-#include "adversary/arrivals.hpp"
-#include "adversary/jammers.hpp"
-#include "common/cli.hpp"
 #include "common/table.hpp"
-#include "engine/fast_batch.hpp"
+#include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
+#include "exp/scenarios.hpp"
 #include "metrics/metrics.hpp"
 #include "protocols/batch.hpp"
 
 using namespace cr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", quick ? 1024 : 4096));
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 5 : 15));
+  const BenchDriver driver(argc, argv,
+                           {"E4", "h_data-batch delivers a constant fraction under jamming",
+                            {"n"}});
+  const auto n = static_cast<std::uint64_t>(driver.get_int("n", 4096, 1024));
+  const int reps = driver.reps(15, 5);
 
   std::cout << "E4: h_data-batch delivers a constant fraction of n in O(n) slots under jamming\n"
             << "n = " << n << ", i.i.d. jamming at the given rate.\n\n";
 
+  const ProtocolSpec h_data = profile_protocol(profiles::h_data());
+  const Engine& engine = EngineRegistry::instance().preferred(h_data);
+
   Table table({"jam rate", "frac by 2n", "frac by 4n", "frac by 8n"});
   for (const double jam : {0.0, 0.1, 0.25, 0.4}) {
-    Accumulator by2, by4, by8;
-    for (int r = 0; r < reps; ++r) {
-      ComposedAdversary adv(batch_arrival(n, 1),
-                            jam > 0 ? iid_jammer(jam) : no_jam());
-      SimConfig cfg;
-      cfg.horizon = 8 * n;
-      cfg.seed = 31000 + static_cast<std::uint64_t>(r);
-      cfg.record_success_times = true;
-      const SimResult res = run_fast_batch(profiles::h_data(), adv, cfg);
-      const double dn = static_cast<double>(n);
-      by2.add(static_cast<double>(successes_in_window(res, 1, 2 * n)) / dn);
-      by4.add(static_cast<double>(successes_in_window(res, 1, 4 * n)) / dn);
-      by8.add(static_cast<double>(successes_in_window(res, 1, 8 * n)) / dn);
-    }
+    const auto results = driver.replicate(reps, driver.seed(31000), [&](std::uint64_t s) {
+      Scenario sc = batch_scenario(n, jam, 8 * n, functions_constant_g(4.0));
+      sc.protocol = h_data;
+      sc.config.seed = s;
+      sc.config.record_success_times = true;
+      return run_scenario(engine, sc);
+    });
+    const double dn = static_cast<double>(n);
+    const auto by2 = collect(results, [&](const SimResult& r) {
+      return static_cast<double>(successes_in_window(r, 1, 2 * n)) / dn;
+    });
+    const auto by4 = collect(results, [&](const SimResult& r) {
+      return static_cast<double>(successes_in_window(r, 1, 4 * n)) / dn;
+    });
+    const auto by8 = collect(results, [&](const SimResult& r) {
+      return static_cast<double>(successes_in_window(r, 1, 8 * n)) / dn;
+    });
     table.add_row({Cell(jam, 2), mean_sd(by2, 3), mean_sd(by4, 3), mean_sd(by8, 3)});
   }
   table.print(std::cout);

@@ -14,17 +14,14 @@
 // throughput) even at 25% jamming; CJZ pays the Θ(log n) factor (the best
 // possible without CD, Theorem 1.3); the degraded controller collapses.
 //
-// Flags: --reps=N (default 8), --max_n (default 4096), --quick
+// Flags: --reps=N (default 8), --max_n (default 4096), --quick, --threads
 #include <iostream>
 #include <memory>
 
-#include "adversary/arrivals.hpp"
-#include "adversary/jammers.hpp"
-#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "engine/fast_cjz.hpp"
-#include "engine/generic_sim.hpp"
+#include "exp/bench_driver.hpp"
+#include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "protocols/cd_backon.hpp"
 
@@ -65,30 +62,28 @@ class NoCdFactory final : public ProtocolFactory {
   std::unique_ptr<ProtocolFactory> inner_;
 };
 
-double median_completion(const char* which, std::uint64_t n, double jam, int reps,
-                         std::uint64_t base_seed, bool* capped) {
+struct Contender {
+  const char* label;
+  ProtocolSpec spec;
+  /// The degraded controller provably stalls; a tighter guard horizon keeps
+  /// the bench fast (it reports '>cap' either way).
+  slot_t horizon_per_n;
+};
+
+double median_completion(const Contender& c, std::uint64_t n, double jam,
+                         const BenchDriver& driver, int reps, std::uint64_t base_seed,
+                         bool* capped) {
+  const Engine& engine = EngineRegistry::instance().preferred(c.spec);
+  const auto results = driver.replicate(reps, base_seed, [&](std::uint64_t s) {
+    Scenario sc = batch_scenario(n, jam, c.horizon_per_n * n, functions_constant_g(4.0));
+    sc.protocol = c.spec;
+    sc.config.seed = s;
+    sc.config.stop_when_empty = true;
+    return run_scenario(engine, sc);
+  });
   Quantiles q;
   *capped = false;
-  const bool is_nocd = std::string(which) == "no-cd";
-  for (int r = 0; r < reps; ++r) {
-    ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
-    SimConfig cfg;
-    // The degraded controller provably stalls; a tighter guard horizon
-    // keeps the bench fast (it reports '>cap' either way).
-    cfg.horizon = (is_nocd ? 20 : 200) * n;
-    cfg.seed = base_seed + static_cast<std::uint64_t>(r);
-    cfg.stop_when_empty = true;
-    SimResult res;
-    const std::string name = which;
-    if (name == "cjz") {
-      res = run_fast_cjz(functions_constant_g(4.0), adv, cfg);
-    } else if (name == "cd-backon") {
-      auto factory = cd_backon_factory({});
-      res = run_generic(*factory, adv, cfg);
-    } else {
-      NoCdFactory factory(cd_backon_factory({}));
-      res = run_generic(factory, adv, cfg);
-    }
+  for (const SimResult& res : results) {
     if (res.live_at_end != 0) *capped = true;
     q.add(static_cast<double>(res.live_at_end == 0 ? res.last_success : res.slots));
   }
@@ -98,10 +93,10 @@ double median_completion(const char* which, std::uint64_t n, double jam, int rep
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 4 : 8));
-  const std::uint64_t max_n = static_cast<std::uint64_t>(cli.get_int("max_n", quick ? 1024 : 4096));
+  const BenchDriver driver(argc, argv,
+                           {"E13", "the collision-detection boundary", {"max_n"}});
+  const int reps = driver.reps(8, 4);
+  const auto max_n = static_cast<std::uint64_t>(driver.get_int("max_n", 4096, 1024));
 
   std::cout << "E13: the collision-detection boundary (intro framing)\n"
             << "Batch of n, median completion/n ('>' = horizon-capped runs).\n"
@@ -109,19 +104,31 @@ int main(int argc, char** argv) {
             << "under jamming); withOUT CD the same controller collapses, and the best\n"
             << "possible (CJZ) pays the Theta(log n) factor.\n\n";
 
+  const Contender cd_backon{"cd-backon",
+                            factory_protocol("cd-backon", [] { return cd_backon_factory({}); }),
+                            200};
+  const Contender cjz{"cjz", cjz_protocol(functions_constant_g(4.0)), 200};
+  const Contender no_cd{"no-cd", factory_protocol("cd-backon-no-cd", [] {
+                          return std::make_unique<NoCdFactory>(cd_backon_factory({}));
+                        }),
+                        20};
+
   Table table({"n", "jam", "cd-backon /n", "cjz /n", "backon-without-cd /n"});
   for (std::uint64_t n = 256; n <= max_n; n <<= 1) {
     for (const double jam : {0.0, 0.25}) {
       bool cap_cd = false, cap_cjz = false, cap_nocd = false;
-      const double cd = median_completion("cd-backon", n, jam, reps, 97000, &cap_cd);
-      const double cjz = median_completion("cjz", n, jam, reps, 98000, &cap_cjz);
-      const double nocd = median_completion("no-cd", n, jam, reps, 99000, &cap_nocd);
+      const double cd = median_completion(cd_backon, n, jam, driver, reps, driver.seed(97000),
+                                          &cap_cd);
+      const double cjz_med = median_completion(cjz, n, jam, driver, reps, driver.seed(98000),
+                                               &cap_cjz);
+      const double nocd = median_completion(no_cd, n, jam, driver, reps, driver.seed(99000),
+                                            &cap_nocd);
       auto cell = [&](double v, bool cap) {
         std::string text = cap ? ">" : "";
         text += format_double(v / static_cast<double>(n), 1);
         return text;
       };
-      table.add_row({Cell(n), Cell(jam, 2), cell(cd, cap_cd), cell(cjz, cap_cjz),
+      table.add_row({Cell(n), Cell(jam, 2), cell(cd, cap_cd), cell(cjz_med, cap_cjz),
                      cell(nocd, cap_nocd)});
     }
   }

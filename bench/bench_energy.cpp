@@ -5,50 +5,48 @@
 // is polylogarithmic: Phase 1/2 backoff contributes O(f·log) sends and
 // Phase 3's batch profiles sum to O(log) in expectation per restart.
 //
-// We measure the per-node send distribution on batches (generic engine —
-// the fast engines don't attribute sends) with and without jamming, and
-// report it against log²(n).
+// We measure the per-node send distribution on batches with and without
+// jamming, and report it against log²(n). Per-node attribution requires the
+// reference engine, so this bench pins "generic" explicitly instead of
+// taking the registry's preferred (cohort) engine.
 //
-// Flags: --reps=N (default 8), --max_n (default 512), --quick
+// Flags: --reps=N (default 8), --max_n (default 512), --quick, --threads
 #include <cmath>
 #include <iostream>
 
-#include "adversary/arrivals.hpp"
-#include "adversary/jammers.hpp"
-#include "common/cli.hpp"
 #include "common/table.hpp"
-#include "engine/generic_sim.hpp"
+#include "exp/bench_driver.hpp"
+#include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/metrics.hpp"
-#include "protocols/cjz_node.hpp"
 
 using namespace cr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 3 : 8));
-  const std::uint64_t max_n = static_cast<std::uint64_t>(cli.get_int("max_n", quick ? 256 : 512));
+  const BenchDriver driver(argc, argv,
+                           {"E10", "per-node channel accesses (energy)", {"max_n"}});
+  const int reps = driver.reps(8, 3);
+  const auto max_n = static_cast<std::uint64_t>(driver.get_int("max_n", 512, 256));
 
   std::cout << "E10: per-node channel accesses (energy) for the CJZ algorithm\n"
             << "Batch of n, generic engine. Prediction: mean/p99 energy = O(log^2 n),\n"
             << "mildly inflated by jamming.\n\n";
 
+  const Engine& engine = EngineRegistry::instance().at("generic");
+
   Table table({"n", "jam", "energy mean", "energy p50", "energy p99", "energy max",
                "log2(n)^2"});
   for (std::uint64_t n = 64; n <= max_n; n <<= 1) {
     for (const double jam : {0.0, 0.25}) {
+      const auto reports = driver.replicate(reps, driver.seed(91000), [&](std::uint64_t s) {
+        Scenario sc = batch_scenario(n, jam, 4'000'000, functions_constant_g(4.0));
+        sc.config.seed = s;
+        sc.config.stop_when_empty = true;
+        sc.config.record_node_stats = true;
+        return energy_report(run_scenario(engine, sc));
+      });
       Accumulator mean_acc, p50_acc, p99_acc, max_acc;
-      for (int r = 0; r < reps; ++r) {
-        CjzFactory factory(functions_constant_g(4.0));
-        ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
-        SimConfig cfg;
-        cfg.horizon = 4'000'000;
-        cfg.seed = 91000 + static_cast<std::uint64_t>(r);
-        cfg.stop_when_empty = true;
-        cfg.record_node_stats = true;
-        const SimResult res = run_generic(factory, adv, cfg);
-        const EnergyReport rep = energy_report(res);
+      for (const EnergyReport& rep : reports) {
         mean_acc.add(rep.mean);
         p50_acc.add(rep.p50);
         p99_acc.add(rep.p99);

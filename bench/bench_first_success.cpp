@@ -9,20 +9,20 @@
 // into the Θ(1) band, i.e. k ≈ m·log(m) — so the first-success slot should
 // scale ~linearly in m (up to log factors) and be robust to constant-rate
 // jamming. We sweep m, with backoff joiners spread over the window, and
-// report the first-success distribution (custom MixedFactory — this also
-// demonstrates the public ProtocolFactory extension point).
+// report the first-success distribution (custom MixedFactory via
+// factory_protocol — this also demonstrates the spec extension point).
 //
-// Flags: --reps=N (default 30), --quick
+// Flags: --reps=N (default 30), --quick, --threads
 #include <iostream>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "adversary/arrivals.hpp"
 #include "adversary/jammers.hpp"
-#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "engine/generic_sim.hpp"
+#include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "protocols/backoff.hpp"
@@ -58,9 +58,12 @@ class MixedFactory final : public ProtocolFactory {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 10 : 30));
+  const BenchDriver driver(argc, argv,
+                           {"E8", "first success in mixed batch + backoff traffic "
+                                  "(Lemmas 3.2/3.3)",
+                            {}});
+  const bool quick = driver.quick();
+  const int reps = driver.reps(30, 10);
 
   std::cout << "E8 (Lemmas 3.2/3.3): first success in mixed batch + backoff traffic\n"
             << "m synchronized h_ctrl-batch nodes from slot 1 + backoff joiners spread over\n"
@@ -68,37 +71,44 @@ int main(int argc, char** argv) {
             << "~O(m log m) slots, i.e. p50/m roughly flat; mild inflation under jamming.\n\n";
 
   Table table({"m (batch)", "jam", "window t", "joiners", "p50", "p99", "p50/m", "solved"});
-  FunctionSet fs = functions_constant_g(4.0);
+  const FunctionSet fs = functions_constant_g(4.0);
   const std::uint64_t max_m = quick ? 1024 : 4096;
   for (std::uint64_t m = 64; m <= max_m; m <<= 2) {
     const slot_t t = static_cast<slot_t>(64 * m);
+    // The mixed population is stateful per run, so the spec builds a fresh
+    // MixedFactory each invocation (factory_protocol's contract).
+    const ProtocolSpec spec = factory_protocol("mixed(batch+backoff)", [m, fs] {
+      return std::make_unique<MixedFactory>(m, profiles::h_ctrl(2.0), fs);
+    });
+    const Engine& engine = EngineRegistry::instance().preferred(spec);
     for (const double jam : {0.0, 0.25}) {
       const auto joiners = static_cast<std::uint64_t>(
           static_cast<double>(t) / (100.0 * fs.f(static_cast<double>(t))));
-      Quantiles first;
-      Accumulator solved;
-      for (int r = 0; r < reps; ++r) {
-        MixedFactory factory(m, profiles::h_ctrl(2.0), fs);
+      const std::uint64_t base = driver.seed(72000);
+      const auto results = driver.replicate(reps, base, [&](std::uint64_t s) {
         std::vector<std::pair<slot_t, std::uint64_t>> sched = {{1, m}};
         {
-          Rng tmp(71000 + static_cast<std::uint64_t>(r));
+          Rng tmp(71000 + (s - base));
           for (std::uint64_t j = 0; j < joiners; ++j)
             sched.emplace_back(1 + tmp.uniform_u64(t), 1);
         }
-        ComposedAdversary adv(scheduled_arrivals(sched),
+        ComposedAdversary adv(scheduled_arrivals(std::move(sched)),
                               jam > 0 ? iid_jammer(jam) : no_jam());
         SimConfig cfg;
         cfg.horizon = t;
-        cfg.seed = 72000 + static_cast<std::uint64_t>(r);
+        cfg.seed = s;
         cfg.stop_after_first_success = true;  // the tail is irrelevant here
-        const SimResult res = run_generic(factory, adv, cfg);
+        return engine.run(spec, adv, cfg);
+      });
+      Quantiles first;
+      for (const SimResult& res : results)
         first.add(static_cast<double>(res.first_success == 0 ? t : res.first_success));
-        solved.add(res.first_success != 0 ? 1.0 : 0.0);
-      }
+      const double solved =
+          fraction(results, [](const SimResult& r) { return r.first_success != 0; });
       table.add_row({Cell(m), Cell(jam, 2), Cell(static_cast<std::uint64_t>(t)),
                      Cell(joiners), Cell(first.quantile(0.5), 0), Cell(first.quantile(0.99), 0),
                      Cell(first.quantile(0.5) / static_cast<double>(m), 3),
-                     Cell(solved.mean(), 3)});
+                     Cell(solved, 3)});
     }
   }
   table.print(std::cout);

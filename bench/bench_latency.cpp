@@ -8,31 +8,29 @@
 //
 // A trickle of single arrivals would make latency trivially 1 (a lone
 // node's stage-0 backoff wins its arrival slot), so we use the burstiest
-// arrival pattern that still satisfies the smooth budget: batches of B
-// nodes every ceil(16·B·f(t)) slots, with budget-paced jamming on top. The
-// interesting quantity is how the latency tail scales with B and with the
-// g regime.
+// arrival pattern that still satisfies the smooth budget — the registered
+// "bursty" scenario: batches of B nodes every ceil(16·B·f(t)) slots, with
+// budget-paced jamming on top. The interesting quantity is how the latency
+// tail scales with B and with the g regime.
 //
-// Flags: --reps=N (default 10), --max_exp (default 18), --quick
-#include <cmath>
+// Flags: --reps=N (default 10), --max_exp (default 18), --quick, --threads
 #include <iostream>
 
-#include "adversary/arrivals.hpp"
-#include "adversary/jammers.hpp"
-#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "engine/fast_cjz.hpp"
+#include "exp/bench_driver.hpp"
+#include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/metrics.hpp"
 
 using namespace cr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 4 : 10));
-  const int max_exp = static_cast<int>(cli.get_int("max_exp", quick ? 16 : 18));
+  const BenchDriver driver(argc, argv,
+                           {"E9", "node latency under smooth adversaries (Cor 3.6)",
+                            {"max_exp"}});
+  const int reps = driver.reps(10, 4);
+  const int max_exp = static_cast<int>(driver.get_int("max_exp", 18, 16));
 
   std::cout << "E9 (Corollary 3.6): node latency under smooth adversaries\n"
             << "Paced arrivals 1/(8f), budget jamming 1/(8g). Latency = slots in system.\n\n";
@@ -41,28 +39,36 @@ int main(int argc, char** argv) {
                "lat max", "p99/(B f)"});
   struct Regime {
     const char* label;
-    FunctionSet fs;
+    const char* name;  ///< functions_for_regime key
+    double gamma;      ///< const's value / exp_sqrt_log's scale
   } regimes[] = {
-      {"const(4)", functions_constant_g(4.0)},
-      {"log2(x)", functions_log_g()},
-      {"2^sqrt(log)", functions_exp_sqrt_log_g(1.0)},
+      {"const(4)", "const", 4.0},
+      {"log2(x)", "log", 4.0},  // gamma unused
+      {"2^sqrt(log)", "exp_sqrt_log", 1.0},
   };
   const slot_t t = static_cast<slot_t>(1) << max_exp;
   for (const auto& regime : regimes) {
+    const FunctionSet fs = functions_for_regime(regime.name, regime.gamma);
     for (const std::uint64_t burst : {16ull, 64ull, 256ull}) {
-      const double ft = regime.fs.f(static_cast<double>(t));
-      const auto period =
-          static_cast<slot_t>(std::max(1.0, std::ceil(16.0 * static_cast<double>(burst) * ft)));
+      const double ft = fs.f(static_cast<double>(t));
+      ScenarioParams params;
+      params.horizon = t;
+      params.n = burst;
+      params.arrival_margin = 16.0;
+      params.jam_margin = 8.0;
+      params.g_regime = regime.name;
+      params.gamma = regime.gamma;
+      const auto runs = driver.replicate(reps, driver.seed(81000), [&](std::uint64_t s) {
+        ScenarioParams p = params;
+        p.seed = s;
+        Scenario sc = ScenarioRegistry::instance().build("bursty", p);
+        sc.config.record_node_stats = true;
+        const SimResult res =
+            run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc);
+        return latency_report(res);
+      });
       Accumulator departed, stranded, p50, p99, maxv;
-      for (int r = 0; r < reps; ++r) {
-        ComposedAdversary adv(bursty_arrivals(period, burst),
-                              budget_paced_jammer(regime.fs.g, 8.0));
-        SimConfig cfg;
-        cfg.horizon = t;
-        cfg.seed = 81000 + static_cast<std::uint64_t>(r);
-        cfg.record_node_stats = true;
-        const SimResult res = run_fast_cjz(regime.fs, adv, cfg);
-        const LatencyReport rep = latency_report(res);
+      for (const LatencyReport& rep : runs) {
         departed.add(static_cast<double>(rep.departed));
         stranded.add(static_cast<double>(rep.stranded));
         p50.add(rep.p50);

@@ -10,14 +10,13 @@
 // report mean sends-before-first-success, normalized by log²t/log²g —
 // flatness of that column is the tightness claim.
 //
-// Flags: --reps=N (default 20), --max_exp (default 20), --quick
+// Flags: --reps=N (default 20), --max_exp (default 20), --quick, --threads
 #include <cmath>
 #include <iostream>
 
 #include "adversary/proof_adversaries.hpp"
-#include "common/cli.hpp"
 #include "common/table.hpp"
-#include "engine/generic_sim.hpp"
+#include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "protocols/baselines.hpp"
@@ -25,10 +24,11 @@
 using namespace cr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 8 : 20));
-  const int max_exp = static_cast<int>(cli.get_int("max_exp", quick ? 17 : 20));
+  const BenchDriver driver(argc, argv,
+                           {"E6", "sends before first success vs the lower bound (Thm 1.3)",
+                            {"max_exp"}});
+  const int reps = driver.reps(20, 8);
+  const int max_exp = static_cast<int>(driver.get_int("max_exp", 20, 17));
 
   std::cout << "E6 (Thm 1.3 / Lemma 4.1): sends before first success vs the lower bound\n"
             << "Theorem 1.3 adversary (prefix + random jamming, one node), h-backoff node.\n"
@@ -36,21 +36,28 @@ int main(int argc, char** argv) {
 
   Table table({"g", "t", "mean first succ", "mean sends", "log2(t)^2/log2(g)^2", "normalized"});
   for (const double gamma : {4.0, 16.0}) {
-    FunctionSet fs = functions_constant_g(gamma);
+    const FunctionSet fs = functions_constant_g(gamma);
+    const ProtocolSpec spec =
+        factory_protocol("h-backoff", [fs] { return backoff_protocol_factory(fs); });
+    const Engine& engine = EngineRegistry::instance().preferred(spec);
     for (int e = 13; e <= max_exp; ++e) {
       const slot_t t = static_cast<slot_t>(1) << e;
-      Accumulator first, sends;
-      for (int r = 0; r < reps; ++r) {
-        auto factory = backoff_protocol_factory(fs);
-        auto adv = theorem13_adversary(t, fs.g, 51000 + static_cast<std::uint64_t>(r));
+      const std::uint64_t base = driver.seed(52000);
+      const auto results = driver.replicate(reps, base, [&](std::uint64_t s) {
+        // Two independent streams per replication: the scripted adversary's
+        // own seed and the simulation seed (matching the serial original).
+        const auto adv = theorem13_adversary(t, fs.g, 51000 + (s - base));
         SimConfig cfg;
         cfg.horizon = t;
-        cfg.seed = 52000 + static_cast<std::uint64_t>(r);
+        cfg.seed = s;
         cfg.stop_when_empty = true;
-        const SimResult res = run_generic(*factory, *adv, cfg);
-        first.add(static_cast<double>(res.first_success == 0 ? t : res.first_success));
-        sends.add(static_cast<double>(res.total_sends));
-      }
+        return engine.run(spec, *adv, cfg);
+      });
+      const auto first = collect(results, [&](const SimResult& r) {
+        return static_cast<double>(r.first_success == 0 ? t : r.first_success);
+      });
+      const auto sends =
+          collect(results, [](const SimResult& r) { return static_cast<double>(r.total_sends); });
       const double lg = std::log2(static_cast<double>(t));
       const double lgg = std::log2(gamma);
       const double bound = lg * lg / (lgg * lgg);

@@ -12,16 +12,14 @@
 // We inject a single node at slot 1, jam [1, t/16], and measure the time to
 // first success beyond the prefix ("excess") and the number of broadcasts.
 //
-// Flags: --reps=N (default 20), --max_exp (default 18), --quick
+// Flags: --reps=N (default 20), --max_exp (default 18), --quick, --threads
 #include <iostream>
 #include <memory>
 
 #include "adversary/arrivals.hpp"
 #include "adversary/jammers.hpp"
-#include "common/cli.hpp"
 #include "common/table.hpp"
-#include "engine/fast_batch.hpp"
-#include "engine/generic_sim.hpp"
+#include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "protocols/baselines.hpp"
@@ -31,55 +29,64 @@ using namespace cr;
 
 namespace {
 
-struct Contender {
-  const char* label;
-  std::unique_ptr<ProtocolFactory> factory;
-};
-
-void measure(ProtocolFactory& factory, const char* label, slot_t t, int reps, Table& table) {
+void measure(const ProtocolSpec& spec, const char* label, slot_t t, const BenchDriver& driver,
+             int reps, Table& table) {
   const slot_t prefix = t / 16;
-  Accumulator time_acc, excess_acc, sends_acc, solved;
-  for (int r = 0; r < reps; ++r) {
+  // Sends under prefix jamming are the measurement, so every contender runs
+  // on the per-node reference engine (the cohort engines aggregate).
+  const Engine& engine = EngineRegistry::instance().at("generic");
+  const auto results = driver.replicate(reps, driver.seed(41000), [&](std::uint64_t s) {
     ComposedAdversary adv(batch_arrival(1, 1), prefix_jammer(prefix));
     SimConfig cfg;
     cfg.horizon = t;
-    cfg.seed = 41000 + static_cast<std::uint64_t>(r);
+    cfg.seed = s;
     cfg.stop_when_empty = true;
-    const SimResult res = run_generic(factory, adv, cfg);
-    const double first =
-        static_cast<double>(res.first_success == 0 ? t : res.first_success);
-    time_acc.add(first);
-    excess_acc.add(first - static_cast<double>(prefix));
-    sends_acc.add(static_cast<double>(res.total_sends));
-    solved.add(res.first_success != 0 ? 1.0 : 0.0);
-  }
+    return engine.run(spec, adv, cfg);
+  });
+  const auto first = [t](const SimResult& r) {
+    return static_cast<double>(r.first_success == 0 ? t : r.first_success);
+  };
+  const auto time_acc = collect(results, first);
+  const auto excess_acc = collect(results, [&](const SimResult& r) {
+    return first(r) - static_cast<double>(prefix);
+  });
+  const auto sends_acc =
+      collect(results, [](const SimResult& r) { return static_cast<double>(r.total_sends); });
+  const double solved =
+      fraction(results, [](const SimResult& r) { return r.first_success != 0; });
   table.add_row({Cell(static_cast<std::uint64_t>(t)), label,
                  Cell(static_cast<std::uint64_t>(prefix)), Cell(time_acc.mean(), 0),
-                 mean_sd(excess_acc, 0), mean_sd(sends_acc, 1), Cell(solved.mean(), 2)});
+                 mean_sd(excess_acc, 0), mean_sd(sends_acc, 1), Cell(solved, 2)});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 8 : 20));
-  const int max_exp = static_cast<int>(cli.get_int("max_exp", quick ? 16 : 18));
+  const BenchDriver driver(argc, argv,
+                           {"E5", "adaptive backoff vs non-adaptive sequences (Thm 4.2)",
+                            {"max_exp"}});
+  const bool quick = driver.quick();
+  const int reps = driver.reps(20, 8);
+  const int max_exp = static_cast<int>(driver.get_int("max_exp", 18, 16));
 
   std::cout << "E5 (Theorem 4.2): adaptive backoff vs non-adaptive sequences under prefix jam\n"
             << "Single node, slots [1, t/16] jammed. 'excess' = first success - prefix.\n\n";
 
+  const FunctionSet fs = functions_constant_g(4.0);
+  const ProtocolSpec adaptive =
+      factory_protocol("h-backoff", [fs] { return backoff_protocol_factory(fs); });
+  const ProtocolSpec decay_1k = profile_protocol(profiles::h_data());
+  const ProtocolSpec decay_slow = profile_protocol(profiles::poly_decay(1.0, 0.75));
+  const ProtocolSpec beb =
+      factory_protocol("windowed-beb", [] { return windowed_backoff_factory({}); });
+
   Table table({"t", "protocol", "jam prefix", "first succ", "excess", "sends", "solved"});
   for (int e = 14; e <= max_exp; e += 2) {
     const slot_t t = static_cast<slot_t>(1) << e;
-    auto adaptive = backoff_protocol_factory(functions_constant_g(4.0));
-    auto beb = windowed_backoff_factory({});
-    ProfileProtocolFactory decay_1k(profiles::h_data());
-    ProfileProtocolFactory decay_slow(profiles::poly_decay(1.0, 0.75));
-    measure(*adaptive, "h-backoff (adaptive)", t, reps, table);
-    measure(decay_1k, "non-adaptive 1/k", t, reps, table);
-    measure(decay_slow, "non-adaptive 1/k^0.75", t, reps, table);
-    measure(*beb, "windowed BEB", t, reps, table);
+    measure(adaptive, "h-backoff (adaptive)", t, driver, reps, table);
+    measure(decay_1k, "non-adaptive 1/k", t, driver, reps, table);
+    measure(decay_slow, "non-adaptive 1/k^0.75", t, driver, reps, table);
+    measure(beb, "windowed BEB", t, driver, reps, table);
   }
   table.print(std::cout);
 
@@ -99,43 +106,38 @@ int main(int argc, char** argv) {
   for (std::uint64_t n = 1 << 12; n <= max_n; n <<= (quick ? 1 : 2)) {
     struct Cand {
       const char* label;
-      const SendProfile* profile;  // nullptr = adaptive backoff (generic engine)
+      const ProtocolSpec* spec;
+      bool adaptive;  ///< needs the O(live·slots) reference engine
     };
-    const SendProfile p_1k = profiles::h_data();
-    const SendProfile p_slow = profiles::poly_decay(1.0, 0.75);
-    auto adaptive = backoff_protocol_factory(functions_constant_g(4.0));
-    for (const Cand& cand : {Cand{"h-backoff (adaptive)", nullptr},
-                             Cand{"non-adaptive 1/k", &p_1k},
-                             Cand{"non-adaptive 1/k^0.75", &p_slow}}) {
-      // The adaptive contender needs the O(live·slots) generic engine; its
-      // ~linear first-success scaling is established by moderate n, so cap
-      // it there rather than burn minutes on the largest sizes.
-      if (cand.profile == nullptr && n > 8192) {
+    for (const Cand& cand : {Cand{"h-backoff (adaptive)", &adaptive, true},
+                             Cand{"non-adaptive 1/k", &decay_1k, false},
+                             Cand{"non-adaptive 1/k^0.75", &decay_slow, false}}) {
+      // The adaptive contender's ~linear first-success scaling is
+      // established by moderate n, so cap it there rather than burn minutes
+      // on the largest sizes.
+      if (cand.adaptive && n > 8192) {
         t2.add_row({Cell(n), cand.label, "-", "-", "-"});
         continue;
       }
-      Quantiles first;
-      Accumulator solved;
-      for (int r = 0; r < reps; ++r) {
+      // First success is early, so the reference engine gets a tight guard
+      // horizon; the cohort engine can afford a generous one.
+      const slot_t horizon = cand.adaptive ? 8 * n : 64 * n;
+      const Engine& engine = EngineRegistry::instance().preferred(*cand.spec);
+      const auto results = driver.replicate(reps, driver.seed(43000), [&](std::uint64_t s) {
         ComposedAdversary adv(batch_arrival(n, 1), no_jam());
         SimConfig cfg;
-        cfg.horizon = 64 * n;
-        cfg.seed = 43000 + static_cast<std::uint64_t>(r);
+        cfg.horizon = horizon;
+        cfg.seed = s;
         cfg.stop_after_first_success = true;
-        SimResult res;
-        if (cand.profile != nullptr) {
-          res = run_fast_batch(*cand.profile, adv, cfg);
-        } else {
-          cfg.horizon = 8 * n;  // generic engine; first success is early
-          res = run_generic(*adaptive, adv, cfg);
-        }
-        first.add(static_cast<double>(res.first_success == 0 ? cfg.horizon
-                                                             : res.first_success));
-        solved.add(res.first_success != 0 ? 1.0 : 0.0);
-      }
+        return engine.run(*cand.spec, adv, cfg);
+      });
+      Quantiles first;
+      for (const SimResult& res : results)
+        first.add(static_cast<double>(res.first_success == 0 ? horizon : res.first_success));
+      const double solved =
+          fraction(results, [](const SimResult& r) { return r.first_success != 0; });
       t2.add_row({Cell(n), cand.label, Cell(first.quantile(0.5), 0),
-                  Cell(first.quantile(0.5) / static_cast<double>(n), 2),
-                  Cell(solved.mean(), 2)});
+                  Cell(first.quantile(0.5) / static_cast<double>(n), 2), Cell(solved, 2)});
     }
   }
   t2.print(std::cout);

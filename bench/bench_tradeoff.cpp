@@ -9,15 +9,13 @@
 // achieves (Θ(f), Θ(g))-throughput with f = Θ(log t / log² g)). In the
 // 2^√log regime f is constant — constant throughput per Remark 2.
 //
-// Flags: --reps=N (default 10), --max_exp=E (default 20), --quick
-#include <cstdio>
+// Flags: --reps=N (default 10), --max_exp=E (default 20), --quick, --threads
 #include <fstream>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
-#include "engine/fast_cjz.hpp"
+#include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/throughput_check.hpp"
@@ -31,23 +29,36 @@ struct Regime {
   FunctionSet fs;
 };
 
-void run_regime(const Regime& regime, int reps, int min_exp, int max_exp, Table& table) {
+struct Rep {
+  SimResult res;
+  double final_ratio = 0;
+  double max_ratio = 0;
+};
+
+void run_regime(const Regime& regime, const BenchDriver& driver, int reps, int min_exp,
+                int max_exp, Table& table) {
   for (int e = min_exp; e <= max_exp; e += 2) {
     const slot_t t = static_cast<slot_t>(1) << e;
-    Accumulator final_ratio, max_ratio, arrivals, jammed, active, served;
-    for (int r = 0; r < reps; ++r) {
+    const auto runs = driver.replicate(reps, driver.seed(9000), [&](std::uint64_t s) {
       Scenario sc = smooth_scenario(t, regime.fs, 8.0, 8.0);
-      sc.config.seed = 9000 + static_cast<std::uint64_t>(r);
+      sc.config.seed = s;
       ThroughputChecker checker(sc.fs);
-      const SimResult res = run_fast_cjz(sc.fs, *sc.adversary, sc.config, &checker);
-      final_ratio.add(checker.final_ratio());
-      max_ratio.add(checker.max_ratio());
-      arrivals.add(static_cast<double>(res.arrivals));
-      jammed.add(static_cast<double>(res.jammed_slots));
-      active.add(static_cast<double>(res.active_slots));
-      served.add(res.arrivals ? static_cast<double>(res.successes) /
-                                    static_cast<double>(res.arrivals)
-                              : 1.0);
+      Rep rep;
+      rep.res = run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc, &checker);
+      rep.final_ratio = checker.final_ratio();
+      rep.max_ratio = checker.max_ratio();
+      return rep;
+    });
+    Accumulator final_ratio, max_ratio, arrivals, jammed, active, served;
+    for (const Rep& rep : runs) {
+      final_ratio.add(rep.final_ratio);
+      max_ratio.add(rep.max_ratio);
+      arrivals.add(static_cast<double>(rep.res.arrivals));
+      jammed.add(static_cast<double>(rep.res.jammed_slots));
+      active.add(static_cast<double>(rep.res.active_slots));
+      served.add(rep.res.arrivals ? static_cast<double>(rep.res.successes) /
+                                        static_cast<double>(rep.res.arrivals)
+                                  : 1.0);
     }
     const double td = static_cast<double>(t);
     table.add_row({regime.label, Cell(static_cast<std::uint64_t>(t)),
@@ -60,10 +71,11 @@ void run_regime(const Regime& regime, int reps, int min_exp, int max_exp, Table&
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 3 : 10));
-  const int max_exp = static_cast<int>(cli.get_int("max_exp", quick ? 16 : 20));
+  const BenchDriver driver(argc, argv,
+                           {"E1", "(f,g)-throughput ratio vs t across g regimes (Thm 1.2)",
+                            {"max_exp", "csv"}});
+  const int reps = driver.reps(10, 3);
+  const int max_exp = static_cast<int>(driver.get_int("max_exp", 20, 16));
   const int min_exp = 14;
 
   std::cout << "E1 (Theorem 1.2): (f,g)-throughput ratio vs t across g regimes\n"
@@ -78,27 +90,27 @@ int main(int argc, char** argv) {
       {"log2(x)^2", FunctionSet{fn::poly_log(1.0, 2.0)}},
       {"2^sqrt(log)", functions_exp_sqrt_log_g(1.0)},
   };
-  for (const Regime& regime : regimes) run_regime(regime, reps, min_exp, max_exp, table);
+  for (const Regime& regime : regimes) run_regime(regime, driver, reps, min_exp, max_exp, table);
   table.print(std::cout);
 
   // Optional: dump a per-slot ratio series (one representative seed per
   // regime at the largest t) for plotting.
-  if (cli.has("csv")) {
-    const std::string path = cli.get_string("csv", "tradeoff_series.csv");
-    std::ofstream out(path);
+  const std::string csv_path = driver.csv_path("tradeoff_series.csv");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
     CsvWriter csv(out, {"regime", "t", "n_t", "d_t", "a_t", "ratio"});
     const slot_t t = static_cast<slot_t>(1) << max_exp;
     for (const Regime& regime : regimes) {
       Scenario sc = smooth_scenario(t, regime.fs, 8.0, 8.0);
-      sc.config.seed = 9000;
+      sc.config.seed = driver.seed(9000);
       ThroughputChecker checker(sc.fs, std::max<slot_t>(1, t / 256));
-      run_fast_cjz(sc.fs, *sc.adversary, sc.config, &checker);
+      run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc, &checker);
       for (const auto& pt : checker.series())
         csv.row({regime.label, std::to_string(pt.t), std::to_string(pt.n_t),
                  std::to_string(pt.d_t), std::to_string(pt.a_t),
                  format_double(pt.ratio, 5)});
     }
-    std::cout << "\nratio series written to " << path << " (" << csv.rows_written()
+    std::cout << "\nratio series written to " << csv_path << " (" << csv.rows_written()
               << " rows)\n";
   }
 

@@ -11,23 +11,24 @@
 // success count exposes the Θ(t/log t) ceiling. The normalized column
 // successes·log2(t)/t should be flat in t and capped by a constant.
 //
-// Flags: --reps=N (default 10), --max_exp=E (default 21), --quick
+// Flags: --reps=N (default 6), --max_exp=E (default 20), --quick, --threads
 #include <cmath>
 #include <iostream>
 
-#include "common/cli.hpp"
 #include "common/table.hpp"
-#include "engine/fast_cjz.hpp"
+#include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 
 using namespace cr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const int reps = static_cast<int>(cli.get_int("reps", quick ? 3 : 6));
-  const int max_exp = static_cast<int>(cli.get_int("max_exp", quick ? 17 : 20));
+  const BenchDriver driver(argc, argv,
+                           {"E2", "worst-case throughput under constant-fraction jamming",
+                            {"max_exp"}});
+  const bool quick = driver.quick();
+  const int reps = driver.reps(6, 3);
+  const int max_exp = static_cast<int>(driver.get_int("max_exp", 20, 17));
 
   std::cout << "E2: worst-case throughput under constant-fraction jamming\n"
             << "Prediction: successes*log2(t)/t flat in t and capped by a constant\n"
@@ -39,19 +40,18 @@ int main(int argc, char** argv) {
     for (const double margin : {4.0, 1.0, 0.5}) {
       for (int e = 14; e <= max_exp; e += (quick ? 3 : 2)) {
         const slot_t t = static_cast<slot_t>(1) << e;
-        Accumulator arr, succ, served, norm;
-        for (int r = 0; r < reps; ++r) {
-          Scenario sc = worst_case_scenario(t, jam, margin, 0);
-          sc.config.seed = 11000 + static_cast<std::uint64_t>(r);
-          const SimResult res = run_fast_cjz(sc.fs, *sc.adversary, sc.config);
-          arr.add(static_cast<double>(res.arrivals));
-          succ.add(static_cast<double>(res.successes));
-          served.add(res.arrivals ? static_cast<double>(res.successes) /
-                                        static_cast<double>(res.arrivals)
-                                  : 1.0);
-          norm.add(static_cast<double>(res.successes) * std::log2(static_cast<double>(t)) /
-                   static_cast<double>(t));
-        }
+        const auto results = driver.replicate(reps, driver.seed(11000), [&](std::uint64_t s) {
+          Scenario sc = worst_case_scenario(t, jam, margin, s);
+          return run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc);
+        });
+        const auto arr = collect(results, [](const SimResult& r) { return double(r.arrivals); });
+        const auto succ = collect(results, [](const SimResult& r) { return double(r.successes); });
+        const auto served = collect(results, [](const SimResult& r) {
+          return r.arrivals ? double(r.successes) / double(r.arrivals) : 1.0;
+        });
+        const auto norm = collect(results, [&](const SimResult& r) {
+          return double(r.successes) * std::log2(double(t)) / double(t);
+        });
         table.add_row({Cell(jam, 2), Cell(margin, 2), Cell(static_cast<std::uint64_t>(t)),
                        Cell(arr.mean(), 0), Cell(succ.mean(), 0), Cell(served.mean(), 3),
                        mean_sd(norm, 3)});

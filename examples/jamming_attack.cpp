@@ -16,7 +16,6 @@
 #include "adversary/jammers.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "engine/fast_cjz.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/throughput_check.hpp"
 
@@ -44,8 +43,11 @@ class EscalatingJammer final : public cr::Jammer {
 int main(int argc, char** argv) {
   const cr::Cli cli(argc, argv);
   const auto slots = static_cast<cr::slot_t>(cli.get_int("slots", 131072));
+  cli.reject_unknown();
 
   const cr::FunctionSet fs = cr::functions_constant_g(4.0);
+  const cr::ProtocolSpec spec = cr::cjz_protocol(fs);
+  const cr::Engine& engine = cr::EngineRegistry::instance().preferred(spec);
 
   std::cout << "jamming_attack: stations arrive paced at 1/(6 f(t)); the attacker\n"
             << "escalates 0% -> 10% -> 20% -> 40% duty cycle across the run, or jams\n"
@@ -69,7 +71,7 @@ int main(int argc, char** argv) {
     cfg.horizon = slots;
     cfg.seed = 13;
     cr::ThroughputChecker checker(fs);
-    const cr::SimResult res = cr::run_fast_cjz(fs, adv, cfg, &checker);
+    const cr::SimResult res = engine.run(spec, adv, cfg, &checker);
     table.add_row({attack.label, cr::Cell(res.arrivals), cr::Cell(res.successes),
                    cr::Cell(static_cast<double>(res.successes) /
                                 static_cast<double>(res.arrivals),

@@ -1,17 +1,14 @@
 // Quickstart: the smallest useful program against the library's public API.
 //
-//   1. pick a jamming-tolerance regime (g), which fixes the whole function
-//      set the algorithm runs on;
-//   2. describe the adversary (arrivals + jamming);
+//   1. pick a named workload from the scenario registry (parameterised by
+//      batch size, jam rate, seed, ...);
+//   2. let the engine registry pick the fastest engine that can run it;
 //   3. run the simulation and read the result.
 //
 // Build & run:   ./build/examples/quickstart [--n=100] [--jam=0.25] [--seed=1]
 #include <iostream>
 
-#include "adversary/arrivals.hpp"
-#include "adversary/jammers.hpp"
 #include "common/cli.hpp"
-#include "engine/fast_cjz.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/throughput_check.hpp"
 
@@ -20,26 +17,29 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 100));
   const double jam = cli.get_double("jam", 0.25);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cli.reject_unknown();  // a typo like --jamm=0.5 fails instead of being ignored
 
-  // 1. Functions: g = const(4) means "tolerate a constant fraction of
-  //    jammed slots"; the induced f is Theta(log t) (Theorem 1.2).
-  const cr::FunctionSet fs = cr::functions_constant_g(4.0);
+  // 1. Workload: n nodes arrive at slot 1; each slot is jammed i.i.d. The
+  //    "batch" entry defaults to g = const(4) — "tolerate a constant
+  //    fraction of jammed slots"; the induced f is Theta(log t) (Thm 1.2).
+  cr::ScenarioParams params;
+  params.n = n;
+  params.jam = jam;
+  params.seed = seed;
+  params.horizon = 4'000'000;
+  cr::Scenario scenario = cr::ScenarioRegistry::instance().build("batch", params);
+  scenario.config.stop_when_empty = true;  // run until every message got through
 
-  // 2. Adversary: n nodes arrive at slot 1; each slot is jammed i.i.d.
-  cr::ComposedAdversary adversary(
-      cr::batch_arrival(n, 1),
-      jam > 0.0 ? cr::iid_jammer(jam) : cr::no_jam());
+  // 2. Engine: the registry returns the fastest engine that can execute the
+  //    scenario's protocol (here the cohort-based CJZ engine).
+  const cr::Engine& engine = cr::EngineRegistry::instance().preferred(scenario.protocol);
 
-  // 3. Run the CJZ algorithm until every message got through (with a guard
-  //    horizon), and verify Definition 1.1's bound online.
-  cr::SimConfig config;
-  config.horizon = 4'000'000;
-  config.seed = seed;
-  config.stop_when_empty = true;
-  cr::ThroughputChecker checker(fs);
-  const cr::SimResult result = cr::run_fast_cjz(fs, adversary, config, &checker);
+  // 3. Run, verifying Definition 1.1's bound online.
+  cr::ThroughputChecker checker(scenario.fs);
+  const cr::SimResult result = cr::run_scenario(engine, scenario, &checker);
 
   std::cout << "contention resolution without collision detection — quickstart\n"
+            << "  engine             : " << engine.name() << "\n"
             << "  nodes              : " << result.arrivals << "\n"
             << "  jam rate           : " << jam << "\n"
             << "  delivered          : " << result.successes << "\n"

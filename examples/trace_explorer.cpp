@@ -93,6 +93,8 @@ int main(int argc, char** argv) {
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 12));
   const double jam = cli.get_double("jam", 0.15);
   const auto slots = static_cast<slot_t>(cli.get_int("slots", 400));
+  cli.declare({"seed"});  // read below, after the check
+  cli.reject_unknown();
 
   CjzFactory factory(functions_constant_g(4.0));
   ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());

@@ -5,19 +5,17 @@
 // trickle of stations plus periodic flash crowds (a train arrives at the
 // platform every few seconds), all contending on one channel with no
 // collision detection. We compare the paper's algorithm with classical
-// windowed binary exponential backoff on latency and backlog.
+// windowed backoff on latency and backlog — each contender is a
+// ProtocolSpec run on the fastest engine that supports it.
 //
 // Run:   ./build/examples/wifi_saturation [--slots=131072] [--burst=96]
 #include <iostream>
 #include <memory>
 
 #include "adversary/adversary.hpp"
-#include "adversary/arrivals.hpp"
 #include "adversary/jammers.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "engine/fast_cjz.hpp"
-#include "engine/generic_sim.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/metrics.hpp"
 #include "protocols/baselines.hpp"
@@ -50,34 +48,39 @@ int main(int argc, char** argv) {
   const auto slots = static_cast<cr::slot_t>(cli.get_int("slots", 131072));
   const auto burst = static_cast<std::uint64_t>(cli.get_int("burst", 96));
   const double rate = cli.get_double("rate", 0.002);
-  const cr::slot_t period = static_cast<cr::slot_t>(cli.get_int("period", 16384));
+  const auto period = static_cast<cr::slot_t>(cli.get_int("period", 16384));
+  cli.reject_unknown();
 
   std::cout << "wifi_saturation: steady stations (rate " << rate << "/slot) + flash crowd of "
             << burst << " every " << period << " slots, " << slots << " slots total\n\n";
 
-  cr::Table table({"protocol", "arrivals", "served", "backlog", "lat p50", "lat p99",
-                   "lat max"});
+  cr::Table table({"protocol", "engine", "arrivals", "served", "backlog", "lat p50",
+                   "lat p99", "lat max"});
 
-  for (const std::string which : {"cjz", "beb", "sawtooth"}) {
+  struct Contender {
+    const char* label;
+    cr::ProtocolSpec spec;
+  } contenders[] = {
+      {"cjz", cr::cjz_protocol(cr::functions_constant_g(4.0))},
+      {"beb", cr::factory_protocol("windowed-beb",
+                                   [] { return cr::windowed_backoff_factory({}); })},
+      {"sawtooth", cr::factory_protocol("windowed-sawtooth", [] {
+         return cr::windowed_backoff_factory({.scheme = cr::WindowScheme::kSawtooth});
+       })},
+  };
+
+  for (const Contender& c : contenders) {
     cr::SimConfig cfg;
     cfg.horizon = slots;
     cfg.seed = 7;
     cfg.record_node_stats = true;
 
-    std::unique_ptr<cr::Adversary> adv = std::make_unique<cr::ComposedAdversary>(
-        std::make_unique<HotCellArrivals>(rate, period, burst), cr::no_jam());
-
-    cr::SimResult res;
-    if (which == "cjz") {
-      res = cr::run_fast_cjz(cr::functions_constant_g(4.0), *adv, cfg);
-    } else {
-      cr::WindowedBackoffOptions opts;
-      if (which == "sawtooth") opts.scheme = cr::WindowScheme::kSawtooth;
-      auto factory = cr::windowed_backoff_factory(opts);
-      res = cr::run_generic(*factory, *adv, cfg);
-    }
+    cr::ComposedAdversary adv(std::make_unique<HotCellArrivals>(rate, period, burst),
+                              cr::no_jam());
+    const cr::Engine& engine = cr::EngineRegistry::instance().preferred(c.spec);
+    const cr::SimResult res = engine.run(c.spec, adv, cfg);
     const cr::LatencyReport lat = cr::latency_report(res);
-    table.add_row({which, cr::Cell(res.arrivals),
+    table.add_row({c.label, engine.name(), cr::Cell(res.arrivals),
                    cr::Cell(static_cast<double>(res.successes) /
                                 static_cast<double>(res.arrivals),
                             3),

@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -29,14 +30,28 @@ Cli::Cli(int argc, const char* const* argv) {
   }
 }
 
-bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+bool Cli::has(const std::string& name) const {
+  {
+    const std::lock_guard<std::mutex> lock(known_mutex_);
+    known_.insert(name);
+  }
+  return flags_.count(name) > 0;
+}
 
 std::string Cli::get_string(const std::string& name, const std::string& def) const {
+  {
+    const std::lock_guard<std::mutex> lock(known_mutex_);
+    known_.insert(name);
+  }
   const auto it = flags_.find(name);
   return it == flags_.end() ? def : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  {
+    const std::lock_guard<std::mutex> lock(known_mutex_);
+    known_.insert(name);
+  }
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   const std::string& text = it->second;
@@ -54,6 +69,10 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
 }
 
 double Cli::get_double(const std::string& name, double def) const {
+  {
+    const std::lock_guard<std::mutex> lock(known_mutex_);
+    known_.insert(name);
+  }
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   const std::string& text = it->second;
@@ -75,9 +94,74 @@ double Cli::get_double(const std::string& name, double def) const {
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {
+  {
+    const std::lock_guard<std::mutex> lock(known_mutex_);
+    known_.insert(name);
+  }
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+namespace {
+
+/// Levenshtein distance, for did-you-mean suggestions on misspelled flags.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+void Cli::declare(std::initializer_list<const char*> names) const {
+  const std::lock_guard<std::mutex> lock(known_mutex_);
+  for (const char* name : names) known_.insert(name);
+}
+
+void Cli::declare(const std::vector<std::string>& names) const {
+  const std::lock_guard<std::mutex> lock(known_mutex_);
+  known_.insert(names.begin(), names.end());
+}
+
+std::vector<std::string> Cli::unknown_flags() const {
+  const std::lock_guard<std::mutex> lock(known_mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_)
+    if (known_.count(name) == 0) out.push_back(name);
+  return out;
+}
+
+void Cli::reject_unknown() const {
+  const auto unknown = unknown_flags();
+  if (unknown.empty()) return;
+  const std::lock_guard<std::mutex> lock(known_mutex_);
+  for (const auto& name : unknown) {
+    std::fprintf(stderr, "%s: unknown flag --%s", program_.c_str(), name.c_str());
+    std::string best;
+    std::size_t best_dist = 3;  // suggest only close matches
+    for (const auto& cand : known_) {
+      const std::size_t d = edit_distance(name, cand);
+      if (d < best_dist) {
+        best_dist = d;
+        best = cand;
+      }
+    }
+    if (!best.empty()) std::fprintf(stderr, " (did you mean --%s?)", best.c_str());
+    std::fprintf(stderr, "\n");
+  }
+  std::fprintf(stderr, "known flags:");
+  for (const auto& name : known_) std::fprintf(stderr, " --%s", name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
 }
 
 }  // namespace cr

@@ -2,10 +2,18 @@
 //
 // Accepts --name=value and --name value; bare --flag is boolean true.
 // Unknown positional arguments are collected and retrievable.
+//
+// Binaries declare their known flags and call reject_unknown() so a typo
+// (--rep=10 for --reps=10) fails loudly instead of silently running with
+// the default. Every get_*/has call also registers its name, so declare()
+// only needs the flags that are read conditionally after the check.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +30,17 @@ class Cli {
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
 
+  /// Register flag names as known without reading them.
+  void declare(std::initializer_list<const char*> names) const;
+  void declare(const std::vector<std::string>& names) const;
+
+  /// Flags that were passed but never declared or read.
+  std::vector<std::string> unknown_flags() const;
+
+  /// Exit(2) with a clear message (including a did-you-mean suggestion)
+  /// if any passed flag is unknown. Call after declaring/reading all flags.
+  void reject_unknown() const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
 
@@ -29,6 +48,11 @@ class Cli {
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  /// Names registered via declare() or any accessor; mutable (with a mutex)
+  /// so the const accessors benches already use keep registering reads even
+  /// when a shared Cli is read from parallel replication workers.
+  mutable std::mutex known_mutex_;
+  mutable std::set<std::string> known_;
 };
 
 }  // namespace cr

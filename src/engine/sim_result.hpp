@@ -35,6 +35,8 @@ struct NodeStats {
   bool departed() const { return departure != 0; }
   /// Slots spent in the system (valid when departed).
   std::uint64_t latency() const { return departure - arrival + 1; }
+
+  friend bool operator==(const NodeStats&, const NodeStats&) = default;
 };
 
 struct SimResult {
@@ -59,6 +61,10 @@ struct SimResult {
   double successes_per_slot() const {
     return slots ? static_cast<double>(successes) / static_cast<double>(slots) : 0.0;
   }
+
+  /// Field-wise equality — what "bit-identical replication" means in the
+  /// parallel-vs-serial determinism tests.
+  friend bool operator==(const SimResult&, const SimResult&) = default;
 };
 
 /// Per-slot hook shared by all engines; `injected` counts this slot's

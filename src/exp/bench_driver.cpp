@@ -1,0 +1,66 @@
+#include "exp/bench_driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace cr {
+
+namespace {
+
+int default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+BenchDriver::BenchDriver(int argc, const char* const* argv, BenchInfo info)
+    : cli_(argc, argv), info_(std::move(info)) {
+  // --csv is deliberately NOT declared here: a bench that writes CSV lists
+  // "csv" in its BenchInfo.flags, so passing --csv to one that doesn't is
+  // rejected instead of silently producing no file.
+  cli_.declare({"reps", "seed", "threads", "quick", "help"});
+  cli_.declare(info_.flags);
+  if (cli_.get_bool("help", false)) {
+    std::printf("%s — %s\n\nflags:\n", info_.id.c_str(), info_.title.c_str());
+    std::printf("  --reps=N     replications per table cell\n");
+    std::printf("  --seed=S     base seed (seeds S..S+reps-1 are used)\n");
+    std::printf("  --threads=N  parallel replication workers (default: all cores;\n");
+    std::printf("               results are identical for every value)\n");
+    std::printf("  --quick      smaller sizes/reps for smoke runs\n");
+    for (const auto& flag : info_.flags) std::printf("  --%s\n", flag.c_str());
+    std::exit(0);
+  }
+  cli_.reject_unknown();
+  quick_ = cli_.get_bool("quick", false);
+  const auto threads = cli_.get_int("threads", default_threads());
+  if (threads < 1) {
+    std::fprintf(stderr, "%s: --threads must be >= 1, got %lld\n", cli_.program().c_str(),
+                 static_cast<long long>(threads));
+    std::exit(2);
+  }
+  threads_ = static_cast<int>(threads);
+}
+
+int BenchDriver::reps(int full, int quick_def) const {
+  return static_cast<int>(cli_.get_int("reps", quick_ ? quick_def : full));
+}
+
+std::int64_t BenchDriver::get_int(const std::string& name, std::int64_t full,
+                                  std::int64_t quick_def) const {
+  return cli_.get_int(name, quick_ ? quick_def : full);
+}
+
+std::uint64_t BenchDriver::seed(std::uint64_t def) const {
+  return static_cast<std::uint64_t>(cli_.get_int("seed", static_cast<std::int64_t>(def)));
+}
+
+std::string BenchDriver::csv_path(const std::string& def) const {
+  if (!cli_.has("csv")) return "";
+  const std::string path = cli_.get_string("csv", def);
+  return (path.empty() || path == "true") ? def : path;
+}
+
+}  // namespace cr

@@ -1,0 +1,84 @@
+// Shared driver for the bench binaries.
+//
+// Every bench used to hand-roll the same prologue: parse Cli, read
+// --reps/--quick, pick quick-mode defaults, loop seeds serially. BenchDriver
+// centralises that contract:
+//
+//   * uniform flags: --reps, --seed, --threads, --quick, --help — declared
+//     once, plus the bench's own flags (list "csv" there to enable
+//     csv_path()), with unknown flags rejected loudly (a typo like --rep=10
+//     exits with a did-you-mean message);
+//   * quick-aware defaults: reps(6, 3) reads --reps with a default of 6,
+//     or 3 under --quick;
+//   * deterministic parallel replication: replicate() fans seeds across
+//     --threads workers (default: all hardware threads) and returns
+//     seed-ordered results bit-identical to a serial run.
+//
+// Usage:
+//   BenchDriver driver(argc, argv, {"E2", "worst-case throughput",
+//                                   {"max_exp"}});
+//   const int reps = driver.reps(6, 3);
+//   const auto results = driver.replicate(reps, 11000, [&](std::uint64_t s) {
+//     Scenario sc = ...; sc.config.seed = s;
+//     return run_scenario(engine, sc);
+//   });
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "exp/harness.hpp"
+
+namespace cr {
+
+struct BenchInfo {
+  std::string id;     ///< experiment number, e.g. "E2"
+  std::string title;  ///< one-line description for --help
+  std::vector<std::string> flags;  ///< bench-specific flags beyond the standard set
+};
+
+class BenchDriver {
+ public:
+  /// Parses flags, handles --help (prints usage, exits 0) and rejects
+  /// unknown flags (exits 2 with a did-you-mean message).
+  BenchDriver(int argc, const char* const* argv, BenchInfo info);
+
+  const Cli& cli() const { return cli_; }
+  const BenchInfo& info() const { return info_; }
+
+  bool quick() const { return quick_; }
+  /// Worker count for replicate(): --threads, defaulting to the hardware
+  /// concurrency (results do not depend on it).
+  int threads() const { return threads_; }
+
+  /// --reps, defaulting to `full` (or `quick_def` under --quick).
+  int reps(int full, int quick_def) const;
+  /// Any integer flag with quick-aware defaults.
+  std::int64_t get_int(const std::string& name, std::int64_t full,
+                       std::int64_t quick_def) const;
+  /// --seed, defaulting to the bench's fixed base seed.
+  std::uint64_t seed(std::uint64_t def) const;
+  /// --csv=PATH; empty when not requested. Bare --csv selects `def`. Only
+  /// meaningful for benches that list "csv" in BenchInfo.flags (others
+  /// reject the flag at startup).
+  std::string csv_path(const std::string& def) const;
+
+  /// Deterministic parallel replication over seeds base .. base+reps-1,
+  /// honouring --threads. `run` must be safe to call concurrently (build all
+  /// per-run state inside it); results come back in seed order, identical
+  /// for every thread count. See replicate_map() in exp/harness.hpp.
+  template <typename Fn>
+  auto replicate(int n, std::uint64_t base_seed, Fn&& run) const {
+    return replicate_map(n, base_seed, std::forward<Fn>(run), threads_);
+  }
+
+ private:
+  Cli cli_;
+  BenchInfo info_;
+  bool quick_ = false;
+  int threads_ = 1;
+};
+
+}  // namespace cr

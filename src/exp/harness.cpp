@@ -1,16 +1,41 @@
 #include "exp/harness.hpp"
 
+#include <atomic>
+#include <thread>
+
 #include "common/check.hpp"
 #include "common/table.hpp"
 
 namespace cr {
 
-std::vector<SimResult> replicate(int reps, std::uint64_t base_seed, const RunFn& run) {
+namespace detail {
+
+void parallel_for_reps(int reps, int threads, const std::function<void(int)>& body) {
   CR_CHECK(reps > 0);
-  std::vector<SimResult> results;
-  results.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) results.push_back(run(base_seed + static_cast<std::uint64_t>(r)));
-  return results;
+  if (threads > reps) threads = reps;
+  if (threads <= 1) {
+    for (int r = 0; r < reps; ++r) body(r);
+    return;
+  }
+  // Work-stealing by atomic counter: replications have uneven cost (early
+  // stopping, adversary-dependent horizons), so static striping would leave
+  // workers idle. Each index runs exactly once; which worker runs it does
+  // not affect the output (results are stored by index).
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (int r = next.fetch_add(1); r < reps; r = next.fetch_add(1)) body(r);
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace detail
+
+std::vector<SimResult> replicate(int reps, std::uint64_t base_seed, const RunFn& run,
+                                 int threads) {
+  return replicate_map(reps, base_seed, run, threads);
 }
 
 Accumulator collect(const std::vector<SimResult>& results,

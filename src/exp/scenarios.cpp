@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "adversary/arrivals.hpp"
 #include "adversary/jammers.hpp"
+#include "common/check.hpp"
 
 namespace cr {
 
@@ -27,6 +29,23 @@ FunctionSet functions_exp_sqrt_log_g(double scale) {
   return fs;
 }
 
+FunctionSet functions_for_regime(const std::string& regime, double gamma) {
+  if (regime == "const") return functions_constant_g(gamma);
+  if (regime == "log") return functions_log_g();
+  if (regime == "exp_sqrt_log") return functions_exp_sqrt_log_g(gamma);
+  std::fprintf(stderr,
+               "functions_for_regime: unknown regime \"%s\" (known: const, log, exp_sqrt_log)\n",
+               regime.c_str());
+  CR_CHECK(false);
+  return {};
+}
+
+SimResult run_scenario(const Engine& engine, Scenario& scenario, SlotObserver* observer) {
+  CR_CHECK(scenario.adversary != nullptr);
+  CR_CHECK(engine.supports(scenario.protocol));
+  return engine.run(scenario.protocol, *scenario.adversary, scenario.config, observer);
+}
+
 Scenario worst_case_scenario(slot_t horizon, double jam_fraction, double arrival_margin,
                              std::uint64_t seed) {
   // The algorithm is always configured for constant-fraction tolerance
@@ -40,6 +59,7 @@ Scenario worst_case_scenario(slot_t horizon, double jam_fraction, double arrival
       jam_fraction > 0.0 ? iid_jammer(jam_fraction) : no_jam());
   sc.config.horizon = horizon;
   sc.config.seed = seed;
+  sc.protocol = cjz_protocol(sc.fs);
   return sc;
 }
 
@@ -51,6 +71,7 @@ Scenario batch_scenario(std::uint64_t n, double jam_fraction, slot_t horizon, Fu
                                                          ? iid_jammer(jam_fraction)
                                                          : no_jam());
   sc.config.horizon = horizon;
+  sc.protocol = cjz_protocol(sc.fs);
   return sc;
 }
 
@@ -61,7 +82,106 @@ Scenario smooth_scenario(slot_t horizon, FunctionSet fs, double arrival_margin,
   sc.adversary = std::make_unique<ComposedAdversary>(
       paced_arrivals(sc.fs, arrival_margin), budget_paced_jammer(sc.fs.g, jam_margin));
   sc.config.horizon = horizon;
+  sc.protocol = cjz_protocol(sc.fs);
   return sc;
+}
+
+namespace {
+
+Scenario build_worst_case(const ScenarioParams& p) {
+  return worst_case_scenario(p.horizon, p.jam, p.arrival_margin, p.seed);
+}
+
+Scenario build_batch(const ScenarioParams& p) {
+  Scenario sc = batch_scenario(p.n, p.jam, p.horizon, functions_for_regime(p.g_regime, p.gamma));
+  sc.config.seed = p.seed;
+  return sc;
+}
+
+Scenario build_smooth(const ScenarioParams& p) {
+  Scenario sc = smooth_scenario(p.horizon, functions_for_regime(p.g_regime, p.gamma),
+                                p.arrival_margin, p.jam_margin);
+  sc.config.seed = p.seed;
+  return sc;
+}
+
+Scenario build_bernoulli_stream(const ScenarioParams& p) {
+  Scenario sc;
+  sc.fs = functions_for_regime(p.g_regime, p.gamma);
+  sc.adversary = std::make_unique<ComposedAdversary>(
+      bernoulli_arrivals(p.rate, 1, p.horizon),
+      p.jam > 0.0 ? iid_jammer(p.jam) : no_jam());
+  sc.config.horizon = p.horizon;
+  sc.config.seed = p.seed;
+  sc.protocol = cjz_protocol(sc.fs);
+  return sc;
+}
+
+Scenario build_bursty(const ScenarioParams& p) {
+  // Burstiest arrival pattern still inside the smooth budget: batches of n
+  // every ceil(arrival_margin·n·f(t)) slots, budget-paced jamming on top
+  // (the E9 latency workload).
+  Scenario sc;
+  sc.fs = functions_for_regime(p.g_regime, p.gamma);
+  const double ft = sc.fs.f(static_cast<double>(p.horizon));
+  const auto period = static_cast<slot_t>(
+      std::max(1.0, std::ceil(p.arrival_margin * static_cast<double>(p.n) * ft)));
+  sc.adversary = std::make_unique<ComposedAdversary>(
+      bursty_arrivals(period, p.n), budget_paced_jammer(sc.fs.g, p.jam_margin));
+  sc.config.horizon = p.horizon;
+  sc.config.seed = p.seed;
+  sc.protocol = cjz_protocol(sc.fs);
+  return sc;
+}
+
+}  // namespace
+
+ScenarioRegistry::ScenarioRegistry() {
+  register_scenario({"worst_case",
+                     "paced arrivals ~t/(margin·f) + i.i.d. jamming (E2)", build_worst_case});
+  register_scenario({"batch", "n nodes at slot 1 + i.i.d. jamming (E3/E4/E7)", build_batch});
+  register_scenario({"smooth",
+                     "budget-saturating paced arrivals + paced jamming (E1/Cor 3.6)",
+                     build_smooth});
+  register_scenario({"bernoulli_stream",
+                     "Bernoulli(rate) arrivals + i.i.d. jamming (E7b)", build_bernoulli_stream});
+  register_scenario({"bursty",
+                     "bursts of n inside the smooth budget + paced jamming (E9)", build_bursty});
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+const ScenarioEntry* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& entry : entries_)
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+Scenario ScenarioRegistry::build(const std::string& name, const ScenarioParams& params) const {
+  const ScenarioEntry* entry = find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "ScenarioRegistry: unknown scenario \"%s\" (known:", name.c_str());
+    for (const auto& e : entries_) std::fprintf(stderr, " %s", e.name.c_str());
+    std::fprintf(stderr, ")\n");
+  }
+  CR_CHECK(entry != nullptr);
+  return entry->build(params);
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+void ScenarioRegistry::register_scenario(ScenarioEntry entry) {
+  CR_CHECK(entry.build != nullptr);
+  CR_CHECK(find(entry.name) == nullptr);  // names are unique keys
+  entries_.push_back(std::move(entry));
 }
 
 }  // namespace cr

@@ -1,14 +1,24 @@
-// Canned scenario builders shared by benches, examples and tests.
+// Canned scenario builders and the name-keyed scenario registry shared by
+// benches, examples and tests.
 //
-// Each builder returns the (FunctionSet, Adversary, SimConfig) triple for a
-// named workload from the experiment index in DESIGN.md.
+// Each builder returns a Scenario — the (protocol, adversary, config)
+// triple for a named workload from the experiment index in
+// docs/EXPERIMENTS.md. The registry promotes the builders into named,
+// parameterised workloads so drivers can select them by string without
+// hand-rolled dispatch:
+//
+//     Scenario sc = ScenarioRegistry::instance().build("worst_case", params);
+//     SimResult r = run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc);
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "adversary/adversary.hpp"
 #include "common/functions.hpp"
+#include "engine/engine.hpp"
 #include "engine/sim_result.hpp"
 
 namespace cr {
@@ -18,11 +28,24 @@ FunctionSet functions_constant_g(double gamma = 4.0);
 FunctionSet functions_log_g();
 FunctionSet functions_exp_sqrt_log_g(double scale = 1.0);
 
+/// Regime by name: "const" | "log" | "exp_sqrt_log". `gamma` feeds const's
+/// value and exp_sqrt_log's scale; log ignores it. Aborts on unknown names.
+FunctionSet functions_for_regime(const std::string& regime, double gamma = 4.0);
+
 struct Scenario {
   FunctionSet fs;
   std::unique_ptr<Adversary> adversary;
   SimConfig config;
+  /// What runs on the channel. Builders default this to the CJZ algorithm
+  /// on `fs`; callers may swap in any spec to race other protocols on the
+  /// same workload.
+  ProtocolSpec protocol;
 };
+
+/// Execute `scenario` on `engine` (the scenario's adversary is consumed
+/// statefully — build a fresh Scenario per run).
+SimResult run_scenario(const Engine& engine, Scenario& scenario,
+                       SlotObserver* observer = nullptr);
 
 /// E2-style worst case: i.i.d. jamming at `jam_fraction` plus saturating
 /// paced arrivals (n_t tracks t/(margin·f(t))). Uses g = const.
@@ -37,5 +60,50 @@ Scenario batch_scenario(std::uint64_t n, double jam_fraction, slot_t horizon,
 /// and budget-paced jamming at 1/(jam_margin·g).
 Scenario smooth_scenario(slot_t horizon, FunctionSet fs, double arrival_margin,
                          double jam_margin);
+
+/// Parameter bundle understood by the registered scenario builders. Every
+/// field has a sensible default; builders read only the fields they document.
+struct ScenarioParams {
+  slot_t horizon = 1 << 16;
+  std::uint64_t seed = 1;
+  std::uint64_t n = 256;           ///< batch / burst size
+  double jam = 0.25;               ///< i.i.d. jam fraction (worst_case, batch, bernoulli_stream)
+  double arrival_margin = 4.0;     ///< paced-arrival margin (worst_case, smooth)
+  double jam_margin = 8.0;         ///< budget-paced jam margin (smooth)
+  double rate = 0.1;               ///< Bernoulli arrival rate (bernoulli_stream)
+  std::string g_regime = "const";  ///< "const" | "log" | "exp_sqrt_log"
+  double gamma = 4.0;              ///< const-g value / exp_sqrt_log scale
+};
+
+using ScenarioBuilderFn = Scenario (*)(const ScenarioParams&);
+
+struct ScenarioEntry {
+  std::string name;
+  std::string description;
+  ScenarioBuilderFn build;
+};
+
+/// Name-keyed scenario registry. Seeded with the five built-in workloads
+/// ("worst_case", "batch", "smooth", "bernoulli_stream", "bursty");
+/// register_scenario() is the extension point. Registration is not
+/// thread-safe — register before fanning out runs.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// nullptr when unknown.
+  const ScenarioEntry* find(const std::string& name) const;
+  /// Aborts (CR_CHECK) on unknown names, after printing the known set.
+  Scenario build(const std::string& name, const ScenarioParams& params = {}) const;
+
+  std::vector<std::string> names() const;
+  const std::vector<ScenarioEntry>& entries() const { return entries_; }
+
+  void register_scenario(ScenarioEntry entry);
+
+ private:
+  ScenarioRegistry();
+  std::vector<ScenarioEntry> entries_;
+};
 
 }  // namespace cr

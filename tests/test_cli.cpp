@@ -79,5 +79,37 @@ TEST(CliValidateDeathTest, RejectsBareBoolReadAsInt) {
   EXPECT_DEATH(cli.get_int("verbose", 0), "expects an integer");
 }
 
+// Unknown-flag rejection: a typo like --rep=10 must fail loudly instead of
+// silently running with the default.
+
+TEST(CliUnknown, ReadsAndDeclaresRegisterKnownFlags) {
+  const Cli cli = make_cli({"--n=42", "--quick", "--out=x.csv"});
+  cli.get_int("n", 0);
+  cli.get_bool("quick", false);
+  EXPECT_EQ(cli.unknown_flags(), std::vector<std::string>{"out"});
+  cli.declare({"out"});
+  EXPECT_TRUE(cli.unknown_flags().empty());
+  cli.reject_unknown();  // no-op when everything is known
+}
+
+TEST(CliUnknown, NoFlagsIsTriviallyKnown) {
+  const Cli cli = make_cli({});
+  EXPECT_TRUE(cli.unknown_flags().empty());
+  cli.reject_unknown();
+}
+
+TEST(CliUnknownDeathTest, RejectUnknownExitsWithMessage) {
+  const Cli cli = make_cli({"--rep=10"});
+  cli.declare({"reps", "seed"});
+  EXPECT_EXIT(cli.reject_unknown(), ::testing::ExitedWithCode(2), "unknown flag --rep");
+}
+
+TEST(CliUnknownDeathTest, SuggestsCloseMatches) {
+  const Cli cli = make_cli({"--thread=4"});
+  cli.declare({"threads", "reps"});
+  EXPECT_EXIT(cli.reject_unknown(), ::testing::ExitedWithCode(2),
+              "did you mean --threads");
+}
+
 }  // namespace
 }  // namespace cr

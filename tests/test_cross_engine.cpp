@@ -1,139 +1,153 @@
-// Cross-validation: the fast cohort engines must be statistically
+// Cross-validation: every fast cohort engine must be statistically
 // indistinguishable from the generic reference engine on the same scenarios.
 // Exact trajectory coupling is impossible (different rng consumption), so we
 // compare distribution summaries over many seeds with wide tolerances —
 // deterministic, but sensitive to real semantic divergence.
+//
+// The tests enumerate the EngineRegistry: for each spec, every compatible
+// engine other than the reference is validated against it. A newly
+// registered engine is pulled into these comparisons automatically.
 #include <gtest/gtest.h>
 
-#include <memory>
+#include <cmath>
+#include <string>
+#include <vector>
 
 #include "adversary/arrivals.hpp"
 #include "adversary/jammers.hpp"
-#include "engine/fast_batch.hpp"
-#include "engine/fast_cjz.hpp"
-#include "engine/generic_sim.hpp"
+#include "engine/engine.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "protocols/batch.hpp"
-#include "protocols/cjz_node.hpp"
 
 namespace cr {
 namespace {
 
-SimResult run_cjz_generic_batch(std::uint64_t n, double jam, std::uint64_t seed) {
-  CjzFactory factory(functions_constant_g(4.0));
-  ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
-  SimConfig cfg;
-  cfg.horizon = 400'000;
-  cfg.seed = seed;
-  cfg.stop_when_empty = true;
-  return run_generic(factory, adv, cfg);
+constexpr const char* kReference = "generic";
+
+/// Non-reference engines that can execute `spec` (the candidates to verify).
+std::vector<const Engine*> candidates(const ProtocolSpec& spec) {
+  std::vector<const Engine*> out;
+  for (const Engine* engine : EngineRegistry::instance().compatible(spec))
+    if (engine->name() != kReference) out.push_back(engine);
+  return out;
 }
 
-SimResult run_cjz_fast_batch(std::uint64_t n, double jam, std::uint64_t seed) {
-  FunctionSet fs = functions_constant_g(4.0);
+SimResult run_batch(const Engine& engine, const ProtocolSpec& spec, std::uint64_t n,
+                    double jam, std::uint64_t seed) {
   ComposedAdversary adv(batch_arrival(n, 1), jam > 0 ? iid_jammer(jam) : no_jam());
   SimConfig cfg;
   cfg.horizon = 400'000;
   cfg.seed = seed;
   cfg.stop_when_empty = true;
-  return run_fast_cjz(fs, adv, cfg);
+  return engine.run(spec, adv, cfg);
+}
+
+void compare_batch_metric(const ProtocolSpec& spec, std::uint64_t n, double jam,
+                          std::uint64_t base_seed, int reps, double tolerance,
+                          const std::function<double(const SimResult&)>& metric,
+                          bool expect_complete) {
+  const Engine& reference = EngineRegistry::instance().at(kReference);
+  const auto ref_runs = replicate(reps, base_seed, [&](std::uint64_t s) {
+    return run_batch(reference, spec, n, jam, s);
+  });
+  if (expect_complete) {
+    for (const auto& r : ref_runs) ASSERT_EQ(r.successes, n);
+  }
+  const auto m_ref = collect(ref_runs, metric);
+  for (const Engine* engine : candidates(spec)) {
+    const auto runs = replicate(reps, base_seed, [&](std::uint64_t s) {
+      return run_batch(*engine, spec, n, jam, s);
+    });
+    if (expect_complete) {
+      for (const auto& r : runs) ASSERT_EQ(r.successes, n) << engine->name();
+    }
+    const auto m_eng = collect(runs, metric);
+    EXPECT_LT(std::abs(m_ref.mean() - m_eng.mean()),
+              tolerance * std::max(m_ref.mean(), m_eng.mean()))
+        << "engine=" << engine->name() << " reference=" << m_ref.mean()
+        << " candidate=" << m_eng.mean();
+  }
 }
 
 TEST(CrossEngine, CjzBatchCompletionTimesAgree) {
-  const std::uint64_t n = 48;
-  const int reps = 24;
-  const auto gen = replicate(reps, 100, [&](std::uint64_t s) {
-    return run_cjz_generic_batch(n, 0.0, s);
-  });
-  const auto fast = replicate(reps, 100, [&](std::uint64_t s) {
-    return run_cjz_fast_batch(n, 0.0, s);
-  });
-  for (const auto& r : gen) ASSERT_EQ(r.successes, n);
-  for (const auto& r : fast) ASSERT_EQ(r.successes, n);
-  const auto m_gen = collect(gen, [](const SimResult& r) { return double(r.last_success); });
-  const auto m_fast = collect(fast, [](const SimResult& r) { return double(r.last_success); });
+  const ProtocolSpec spec = cjz_protocol(functions_constant_g(4.0));
+  ASSERT_FALSE(candidates(spec).empty());
   // Means within 35% of each other (generous; catches systematic drift).
-  EXPECT_LT(std::abs(m_gen.mean() - m_fast.mean()), 0.35 * std::max(m_gen.mean(), m_fast.mean()))
-      << "generic=" << m_gen.mean() << " fast=" << m_fast.mean();
+  compare_batch_metric(spec, 48, 0.0, 100, 24, 0.35,
+                       [](const SimResult& r) { return double(r.last_success); },
+                       /*expect_complete=*/true);
 }
 
 TEST(CrossEngine, CjzBatchSendVolumesAgree) {
-  const std::uint64_t n = 48;
-  const int reps = 24;
-  const auto gen = replicate(reps, 300, [&](std::uint64_t s) {
-    return run_cjz_generic_batch(n, 0.0, s);
-  });
-  const auto fast = replicate(reps, 300, [&](std::uint64_t s) {
-    return run_cjz_fast_batch(n, 0.0, s);
-  });
-  const auto m_gen = collect(gen, [](const SimResult& r) { return double(r.total_sends); });
-  const auto m_fast = collect(fast, [](const SimResult& r) { return double(r.total_sends); });
-  EXPECT_LT(std::abs(m_gen.mean() - m_fast.mean()), 0.35 * std::max(m_gen.mean(), m_fast.mean()))
-      << "generic=" << m_gen.mean() << " fast=" << m_fast.mean();
+  const ProtocolSpec spec = cjz_protocol(functions_constant_g(4.0));
+  compare_batch_metric(spec, 48, 0.0, 300, 24, 0.35,
+                       [](const SimResult& r) { return double(r.total_sends); },
+                       /*expect_complete=*/false);
 }
 
 TEST(CrossEngine, CjzUnderJammingAgrees) {
-  const std::uint64_t n = 32;
-  const int reps = 20;
-  const auto gen = replicate(reps, 500, [&](std::uint64_t s) {
-    return run_cjz_generic_batch(n, 0.25, s);
-  });
-  const auto fast = replicate(reps, 500, [&](std::uint64_t s) {
-    return run_cjz_fast_batch(n, 0.25, s);
-  });
-  const auto m_gen = collect(gen, [](const SimResult& r) { return double(r.last_success); });
-  const auto m_fast = collect(fast, [](const SimResult& r) { return double(r.last_success); });
-  EXPECT_LT(std::abs(m_gen.mean() - m_fast.mean()), 0.4 * std::max(m_gen.mean(), m_fast.mean()));
+  const ProtocolSpec spec = cjz_protocol(functions_constant_g(4.0));
+  compare_batch_metric(spec, 32, 0.25, 500, 20, 0.4,
+                       [](const SimResult& r) { return double(r.last_success); },
+                       /*expect_complete=*/false);
 }
 
 TEST(CrossEngine, HdataBatchAgrees) {
   // h_data completion has a truncated-Pareto tail (the lone-survivor phase),
   // so means of last_success are horizon-dominated and noisy. Compare a
   // concentrated statistic instead: successes within a fixed window.
+  const ProtocolSpec spec = profile_protocol(profiles::h_data());
+  ASSERT_FALSE(candidates(spec).empty());
   const std::uint64_t n = 64;
   const int reps = 24;
   const slot_t window = 4096;
-  const auto gen = replicate(reps, 700, [&](std::uint64_t s) {
-    ProfileProtocolFactory factory(profiles::h_data());
+  auto run_windowed = [&](const Engine& engine, std::uint64_t s) {
     ComposedAdversary adv(batch_arrival(n, 1), no_jam());
     SimConfig cfg;
     cfg.horizon = window;
     cfg.seed = s;
-    return run_generic(factory, adv, cfg);
-  });
-  const auto fast = replicate(reps, 700, [&](std::uint64_t s) {
-    ComposedAdversary adv(batch_arrival(n, 1), no_jam());
-    SimConfig cfg;
-    cfg.horizon = window;
-    cfg.seed = s;
-    return run_fast_batch(profiles::h_data(), adv, cfg);
-  });
-  const auto m_gen = collect(gen, [](const SimResult& r) { return double(r.successes); });
-  const auto m_fast = collect(fast, [](const SimResult& r) { return double(r.successes); });
-  EXPECT_LT(std::abs(m_gen.mean() - m_fast.mean()),
-            0.15 * std::max(m_gen.mean(), m_fast.mean()) + 1.0)
-      << "generic=" << m_gen.mean() << " fast=" << m_fast.mean();
+    return engine.run(spec, adv, cfg);
+  };
+  const Engine& reference = EngineRegistry::instance().at(kReference);
+  const auto ref_runs =
+      replicate(reps, 700, [&](std::uint64_t s) { return run_windowed(reference, s); });
+  const auto m_ref =
+      collect(ref_runs, [](const SimResult& r) { return double(r.successes); });
+  for (const Engine* engine : candidates(spec)) {
+    const auto runs =
+        replicate(reps, 700, [&](std::uint64_t s) { return run_windowed(*engine, s); });
+    const auto m_eng = collect(runs, [](const SimResult& r) { return double(r.successes); });
+    EXPECT_LT(std::abs(m_ref.mean() - m_eng.mean()),
+              0.15 * std::max(m_ref.mean(), m_eng.mean()) + 1.0)
+        << "engine=" << engine->name() << " reference=" << m_ref.mean()
+        << " candidate=" << m_eng.mean();
+  }
 }
 
 TEST(CrossEngine, DynamicArrivalFirstSuccessAgrees) {
+  const ProtocolSpec spec = cjz_protocol(functions_constant_g(4.0));
   const int reps = 24;
-  auto run_one = [&](bool fast_engine, std::uint64_t s) {
-    FunctionSet fs = functions_constant_g(4.0);
+  auto run_one = [&](const Engine& engine, std::uint64_t s) {
     ComposedAdversary adv(bernoulli_arrivals(0.01, 1, 5000), no_jam());
     SimConfig cfg;
     cfg.horizon = 20'000;
     cfg.seed = s;
-    if (fast_engine) return run_fast_cjz(fs, adv, cfg);
-    CjzFactory factory(fs);
-    return run_generic(factory, adv, cfg);
+    return engine.run(spec, adv, cfg);
   };
-  const auto gen = replicate(reps, 900, [&](std::uint64_t s) { return run_one(false, s); });
-  const auto fast = replicate(reps, 900, [&](std::uint64_t s) { return run_one(true, s); });
-  const auto s_gen = collect(gen, [](const SimResult& r) { return double(r.successes); });
-  const auto s_fast = collect(fast, [](const SimResult& r) { return double(r.successes); });
-  EXPECT_LT(std::abs(s_gen.mean() - s_fast.mean()),
-            0.25 * std::max(s_gen.mean(), s_fast.mean()) + 2.0);
+  const Engine& reference = EngineRegistry::instance().at(kReference);
+  const auto ref_runs =
+      replicate(reps, 900, [&](std::uint64_t s) { return run_one(reference, s); });
+  const auto s_ref =
+      collect(ref_runs, [](const SimResult& r) { return double(r.successes); });
+  for (const Engine* engine : candidates(spec)) {
+    const auto runs =
+        replicate(reps, 900, [&](std::uint64_t s) { return run_one(*engine, s); });
+    const auto s_eng = collect(runs, [](const SimResult& r) { return double(r.successes); });
+    EXPECT_LT(std::abs(s_ref.mean() - s_eng.mean()),
+              0.25 * std::max(s_ref.mean(), s_eng.mean()) + 2.0)
+        << "engine=" << engine->name();
+  }
 }
 
 }  // namespace

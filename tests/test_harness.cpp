@@ -44,5 +44,22 @@ TEST(Harness, MeanSdFormat) {
   EXPECT_EQ(mean_sd(acc, 1), "2.0±1.4");
 }
 
+TEST(Harness, ParallelReplicateMatchesSerial) {
+  const auto serial = replicate(17, 10, fake_result, /*threads=*/1);
+  for (const int threads : {2, 5, 8}) {
+    const auto parallel = replicate(17, 10, fake_result, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(parallel[i], serial[i]);
+  }
+}
+
+TEST(Harness, ReplicateMapCarriesArbitraryTypes) {
+  const auto results = replicate_map(
+      4, 7, [](std::uint64_t seed) { return std::to_string(seed); }, /*threads=*/2);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0], "7");
+  EXPECT_EQ(results[3], "10");
+}
+
 }  // namespace
 }  // namespace cr
