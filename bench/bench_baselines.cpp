@@ -63,7 +63,7 @@ Outcome race(const ProtocolSpec& spec, std::uint64_t n, const BenchDriver& drive
     sc.protocol = spec;
     sc.config.seed = s;
     sc.config.stop_when_empty = true;
-    sc.config.record_success_times = true;
+    sc.config.recording = RecordingConfig::success_times();
     return run_scenario(engine, sc);
   });
   Quantiles completion;

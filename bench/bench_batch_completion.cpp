@@ -44,7 +44,7 @@ BatchStats measure(const ProtocolSpec& spec, std::uint64_t n, const BenchDriver&
     Scenario sc = batch_scenario(n, 0.0, horizon, functions_constant_g(4.0));
     sc.protocol = spec;
     sc.config.seed = s;
-    sc.config.record_success_times = true;
+    sc.config.recording = RecordingConfig::success_times();
     return run_scenario(engine, sc);
   });
   BatchStats out;

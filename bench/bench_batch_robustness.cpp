@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       Scenario sc = batch_scenario(n, jam, 8 * n, functions_constant_g(4.0));
       sc.protocol = h_data;
       sc.config.seed = s;
-      sc.config.record_success_times = true;
+      sc.config.recording = RecordingConfig::success_times();
       return run_scenario(engine, sc);
     });
     const double dn = static_cast<double>(n);

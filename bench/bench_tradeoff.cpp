@@ -13,12 +13,15 @@
 #include <fstream>
 #include <iostream>
 
+#include <algorithm>
+
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/throughput_check.hpp"
+#include "metrics/windowed.hpp"
 
 using namespace cr;
 
@@ -93,22 +96,33 @@ int main(int argc, char** argv) {
   for (const Regime& regime : regimes) run_regime(regime, driver, reps, min_exp, max_exp, table);
   table.print(std::cout);
 
-  // Optional: dump a per-slot ratio series (one representative seed per
-  // regime at the largest t) for plotting.
+  // Optional: dump a per-window series (one representative seed per regime
+  // at the largest t) for plotting — the (f,g) ratio from the checker plus
+  // windowed throughput/backlog from the streaming WindowedMetrics observer,
+  // both attached to the same run through an ObserverChain.
   const std::string csv_path = driver.csv_path("tradeoff_series.csv");
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
-    CsvWriter csv(out, {"regime", "t", "n_t", "d_t", "a_t", "ratio"});
+    CsvWriter csv(out, {"regime", "t", "n_t", "d_t", "a_t", "ratio", "win_successes",
+                        "win_live_mean", "win_live_max"});
     const slot_t t = static_cast<slot_t>(1) << max_exp;
+    const slot_t window = std::max<slot_t>(1, t / 256);
     for (const Regime& regime : regimes) {
       Scenario sc = smooth_scenario(t, regime.fs, 8.0, 8.0);
       sc.config.seed = driver.seed(9000);
-      ThroughputChecker checker(sc.fs, std::max<slot_t>(1, t / 256));
-      run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc, &checker);
-      for (const auto& pt : checker.series())
+      ThroughputChecker checker(sc.fs, window);
+      WindowedMetrics windows(window);
+      ObserverChain chain{&checker, &windows};
+      run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc, &chain);
+      const std::size_t rows = std::min(checker.series().size(), windows.series().size());
+      for (std::size_t i = 0; i < rows; ++i) {
+        const auto& pt = checker.series()[i];
+        const WindowStats& win = windows.series()[i];
         csv.row({regime.label, std::to_string(pt.t), std::to_string(pt.n_t),
-                 std::to_string(pt.d_t), std::to_string(pt.a_t),
-                 format_double(pt.ratio, 5)});
+                 std::to_string(pt.d_t), std::to_string(pt.a_t), format_double(pt.ratio, 5),
+                 std::to_string(win.successes), format_double(win.live_mean, 2),
+                 std::to_string(win.live_max)});
+      }
     }
     std::cout << "\nratio series written to " << csv_path << " (" << csv.rows_written()
               << " rows)\n";

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
     cr::SimConfig cfg;
     cfg.horizon = slots;
     cfg.seed = 7;
-    cfg.record_node_stats = true;
+    cfg.recording = cr::RecordingConfig::node_stats();
 
     cr::ComposedAdversary adv(std::make_unique<HotCellArrivals>(rate, period, burst),
                               cr::no_jam());

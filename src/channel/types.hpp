@@ -44,6 +44,8 @@ struct SlotOutcome {
   bool jammed = false;
   node_id winner = kNoNode;
 
+  friend bool operator==(const SlotOutcome&, const SlotOutcome&) = default;
+
   bool success() const { return winner != kNoNode; }
   Feedback feedback() const {
     return success() ? Feedback::kSuccess : Feedback::kSilenceOrCollision;

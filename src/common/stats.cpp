@@ -57,11 +57,16 @@ void Quantiles::ensure_sorted() const {
 }
 
 double Quantiles::quantile(double q) const {
-  CR_CHECK(!xs_.empty());
   CR_CHECK(q >= 0.0 && q <= 1.0);
+  if (xs_.empty()) return 0.0;
   ensure_sorted();
   const auto n = xs_.size();
-  const auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) ;
+  // Nearest rank is ceil(q·n); the relative epsilon guards against q·n
+  // landing one ulp ABOVE the exact integer (0.99·100 = 99.00000000000001
+  // in IEEE arithmetic, which would otherwise round p99-of-100 up to the
+  // maximum instead of the 99th order statistic).
+  const double scaled = q * static_cast<double>(n);
+  const auto idx = static_cast<std::size_t>(std::ceil(scaled * (1.0 - 1e-12)));
   return xs_[idx == 0 ? 0 : std::min(idx - 1, n - 1)];
 }
 

@@ -42,7 +42,11 @@ class Quantiles {
   std::size_t size() const { return xs_.size(); }
   bool empty() const { return xs_.empty(); }
 
-  /// q in [0,1]; nearest-rank. Requires non-empty.
+  /// q in [0,1]; exact nearest-rank (the ceil(q·n)-th order statistic, so
+  /// q=0 is the minimum and q=1 the maximum), robust to floating-point
+  /// representation of q — quantile(0.99) over 100 samples is the 99th
+  /// order statistic, not the 100th. Empty sample: returns 0.0 (n=1
+  /// returns the lone sample for every q).
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
   double max() const { return quantile(1.0); }

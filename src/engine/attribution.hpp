@@ -1,0 +1,63 @@
+// Send attribution for the cohort engines.
+//
+// A cohort slot draws its transmitter COUNT c ~ Binomial(m, p) on the main
+// RNG stream; when the kNodeStats recording tier asks "which members sent?",
+// the exact conditional law given the count is the uniform distribution over
+// c-subsets of the m members (exchangeability of i.i.d. p-coins). This
+// header samples such a subset from a DEDICATED attribution RNG stream, so
+// turning recording on or off never perturbs the simulated trajectory.
+//
+// Cost is O(c) expected (amortised O(total sends) per run): sparse subsets
+// use rejection sampling against a hash set, dense ones a partial
+// Fisher–Yates over an index scratch vector.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cr {
+
+/// Scratch buffers reused across slots so attribution allocates O(1)
+/// amortised.
+struct SubsetScratch {
+  std::vector<std::uint64_t> indices;
+  std::unordered_set<std::uint64_t> picked;
+};
+
+/// Invoke `visit(i)` for each index of a uniformly random c-subset of
+/// [0, m). Requires c <= m. Visit order is unspecified but deterministic for
+/// a given RNG state.
+template <typename Visit>
+void visit_uniform_subset(std::uint64_t m, std::uint64_t c, Rng& rng, SubsetScratch& scratch,
+                          Visit&& visit) {
+  if (c == 0) return;
+  if (c >= m) {
+    for (std::uint64_t i = 0; i < m; ++i) visit(i);
+    return;
+  }
+  if (4 * c >= m) {
+    // Dense: partial Fisher–Yates over 0..m-1 — O(m) = O(4c) worst case.
+    scratch.indices.resize(m);
+    std::iota(scratch.indices.begin(), scratch.indices.end(), std::uint64_t{0});
+    for (std::uint64_t i = 0; i < c; ++i) {
+      const std::uint64_t j = i + rng.uniform_u64(m - i);
+      std::swap(scratch.indices[i], scratch.indices[j]);
+      visit(scratch.indices[i]);
+    }
+    return;
+  }
+  // Sparse: rejection sampling; with c < m/4 the expected number of draws is
+  // < 4c/3. Set membership is the only thing consulted, so the unordered
+  // container keeps the choice deterministic.
+  scratch.picked.clear();
+  while (scratch.picked.size() < c) {
+    const std::uint64_t j = rng.uniform_u64(m);
+    if (scratch.picked.insert(j).second) visit(j);
+  }
+}
+
+}  // namespace cr

@@ -16,6 +16,10 @@ SimResult FastBatchSimulator::run() {
   Rng root(config_.seed);
   Rng rng_adv = root.fork(0xADu);
   Rng rng = root.fork(0xB0u);
+  // Attribution draws live on their own stream: recording tiers must never
+  // change the trajectory the main stream produces.
+  Rng rng_attr = root.fork(0xA7u);
+  const bool attribute = config_.recording.wants_node_stats();
 
   trace_ = Trace{};
   PublicHistory history(trace_);
@@ -30,7 +34,9 @@ SimResult FastBatchSimulator::run() {
     const AdversaryAction action = adversary_.on_slot(slot, history, rng_adv);
 
     if (action.inject > 0) {
-      cohorts.push_back({slot, action.inject});
+      Cohort fresh{slot, action.inject, {}};
+      if (attribute) fresh.member_sends.assign(action.inject, 0);
+      cohorts.push_back(std::move(fresh));
       live += action.inject;
       result.arrivals += action.inject;
     }
@@ -62,25 +68,43 @@ SimResult FastBatchSimulator::run() {
 
     const SlotOutcome out = resolve_slot(slot, senders, action.jam, winner);
     trace_.record(out);
+    if (config_.recording.wants_trace()) result.slot_outcomes.push_back(out);
     if (out.jammed) ++result.jammed_slots;
     if (observer_ != nullptr) observer_->on_slot(out, action.inject, live_now);
 
+    if (attribute) {
+      // Charge each cohort's binomial count to concrete members. On a
+      // success the lone draw IS the winning send, charged at departure.
+      for (std::size_t di = 0; di < draws.size(); ++di) {
+        if (out.success() && di == 0) continue;
+        Cohort& cohort = cohorts[draws[di].first];
+        CR_DCHECK(cohort.member_sends.size() == cohort.count);
+        visit_uniform_subset(cohort.count, draws[di].second, rng_attr, attr_scratch_,
+                             [&](std::uint64_t i) { ++cohort.member_sends[i]; });
+      }
+    }
+
     if (out.success()) {
       Cohort& cohort = cohorts[winner_cohort];
+      if (attribute) {
+        // The winner is the slot's only sender — uniform over the cohort's
+        // members, exactly the conditional law of "who sent".
+        const std::uint64_t pos = rng_attr.uniform_u64(cohort.member_sends.size());
+        NodeStats ns;
+        ns.id = out.winner;
+        ns.arrival = cohort.arrival;
+        ns.departure = slot;
+        ns.sends = cohort.member_sends[pos] + 1;
+        result.node_stats.push_back(ns);
+        cohort.member_sends[pos] = cohort.member_sends.back();
+        cohort.member_sends.pop_back();
+      }
       --cohort.count;
       --live;
       ++result.successes;
       if (result.first_success == 0) result.first_success = slot;
       result.last_success = slot;
-      if (config_.record_success_times) result.success_times.push_back(slot);
-      if (config_.record_node_stats) {
-        NodeStats ns;
-        ns.id = out.winner;
-        ns.arrival = cohort.arrival;
-        ns.departure = slot;
-        ns.sends = 0;
-        result.node_stats.push_back(ns);
-      }
+      if (config_.recording.wants_success_times()) result.success_times.push_back(slot);
     }
 
     // Periodically drop drained cohorts so long dynamic runs stay lean.
@@ -93,16 +117,18 @@ SimResult FastBatchSimulator::run() {
   }
 
   result.live_at_end = live;
-  if (config_.record_node_stats) {
+  if (attribute) {
     for (const auto& cohort : cohorts) {
-      for (std::uint64_t i = 0; i < cohort.count; ++i) {
+      for (const std::uint64_t sends : cohort.member_sends) {
         NodeStats ns;
         ns.arrival = cohort.arrival;
         ns.departure = 0;
+        ns.sends = sends;
         result.node_stats.push_back(ns);
       }
     }
   }
+  if (observer_ != nullptr) observer_->on_run_end(result);
   return result;
 }
 

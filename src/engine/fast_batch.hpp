@@ -8,8 +8,11 @@
 // per slot of a long arrival stream the per-slot cost degrades to O(live
 // cohorts), which is still far below the generic engine's O(live nodes).
 //
-// Per-node send attribution is not tracked (NodeStats.sends == 0); use the
-// generic engine when per-node energy is the measurement.
+// Under RecordingTier::kNodeStats each cohort materialises per-member send
+// counters and every binomial count is attributed to a uniformly sampled
+// member subset (the exact conditional law) drawn from a dedicated
+// attribution RNG stream — latency and energy reports work here, and the
+// trajectory is bit-identical across recording tiers.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +20,7 @@
 
 #include "adversary/adversary.hpp"
 #include "channel/trace.hpp"
+#include "engine/attribution.hpp"
 #include "engine/sim_result.hpp"
 #include "protocols/batch.hpp"
 
@@ -36,6 +40,9 @@ class FastBatchSimulator {
   struct Cohort {
     slot_t arrival = 0;
     std::uint64_t count = 0;
+    /// kNodeStats tier only: one send counter per live member (size ==
+    /// count); members are anonymous otherwise.
+    std::vector<std::uint64_t> member_sends;
   };
 
   SendProfile profile_;
@@ -43,6 +50,7 @@ class FastBatchSimulator {
   SimConfig config_;
   SlotObserver* observer_ = nullptr;
   Trace trace_;
+  SubsetScratch attr_scratch_;
 };
 
 /// Convenience one-shot runner.

@@ -100,10 +100,21 @@ void FastCjzSimulator::handle_success(slot_t slot, Rng& rng) {
   }
 }
 
+void FastCjzSimulator::attribute_cohort_sends(const Cohort& cohort, std::uint64_t c,
+                                              Rng& rng_attr) {
+  const auto m = static_cast<std::uint64_t>(cohort.members.size());
+  CR_DCHECK(c <= m);
+  visit_uniform_subset(m, c, rng_attr, attr_scratch_,
+                       [&](std::uint64_t i) { ++nodes_[cohort.members[i]].sends; });
+}
+
 SimResult FastCjzSimulator::run() {
   Rng root(config_.seed);
   Rng rng_adv = root.fork(0xADu);
   Rng rng = root.fork(0xF0u);
+  // Attribution draws live on their own stream: recording tiers must never
+  // change the trajectory the main stream produces.
+  Rng rng_attr = root.fork(0xA7u);
 
   trace_ = Trace{};
   PublicHistory history(trace_);
@@ -150,6 +161,7 @@ SimResult FastCjzSimulator::run() {
         begin_stage(ev->node, n.stage + 1, rng);
       } else {
         backoff_senders.push_back(ev->node);
+        ++n.sends;
       }
     }
 
@@ -174,6 +186,7 @@ SimResult FastCjzSimulator::run() {
     // Resolve.
     std::uint32_t winner_idx = 0;
     node_id winner = kNoNode;
+    bool cohort_winner = false;
     if (senders == 1 && !action.jam) {
       if (!backoff_senders.empty()) {
         winner_idx = backoff_senders.front();
@@ -183,31 +196,45 @@ SimResult FastCjzSimulator::run() {
         winner_idx = cohort.members[pos];
         cohort.members[pos] = cohort.members.back();
         cohort.members.pop_back();
+        cohort_winner = true;
       }
       winner = nodes_[winner_idx].id;
     }
 
     const SlotOutcome out = resolve_slot(slot, senders, action.jam, winner);
     trace_.record(out);
+    if (config_.recording.wants_trace()) result.slot_outcomes.push_back(out);
     if (out.jammed) ++result.jammed_slots;
     if (observer_ != nullptr) observer_->on_slot(out, action.inject, live_now);
+
+    if (config_.recording.wants_node_stats()) {
+      // Charge each cohort's binomial count to concrete members. A winning
+      // cohort draw (c == 1, the member already popped above) is charged to
+      // the winner directly; backoff sends were counted at the calendar.
+      for (std::size_t di = 0; di < cohort_draws.size(); ++di) {
+        if (cohort_winner && di == 0) continue;
+        attribute_cohort_sends(cohorts_[cohort_draws[di].first], cohort_draws[di].second,
+                               rng_attr);
+      }
+      if (cohort_winner) ++nodes_[winner_idx].sends;
+    }
 
     if (out.success()) {
       ++result.successes;
       if (result.first_success == 0) result.first_success = slot;
       result.last_success = slot;
-      if (config_.record_success_times) result.success_times.push_back(slot);
+      if (config_.recording.wants_success_times()) result.success_times.push_back(slot);
 
       Node& w = nodes_[winner_idx];
       w.alive = false;
       ++w.gen;
       --live_;
-      if (config_.record_node_stats) {
+      if (config_.recording.wants_node_stats()) {
         NodeStats ns;
         ns.id = w.id;
         ns.arrival = w.arrival;
         ns.departure = slot;
-        ns.sends = 0;  // per-node send attribution is not tracked here
+        ns.sends = w.sends;
         result.node_stats.push_back(ns);
       }
 
@@ -220,16 +247,18 @@ SimResult FastCjzSimulator::run() {
   }
 
   result.live_at_end = live_;
-  if (config_.record_node_stats) {
+  if (config_.recording.wants_node_stats()) {
     for (const auto& n : nodes_) {
       if (!n.alive) continue;
       NodeStats ns;
       ns.id = n.id;
       ns.arrival = n.arrival;
       ns.departure = 0;
+      ns.sends = n.sends;
       result.node_stats.push_back(ns);
     }
   }
+  if (observer_ != nullptr) observer_->on_run_end(result);
   return result;
 }
 

@@ -16,6 +16,13 @@
 // Net cost: O(#cohorts + #due events) per slot, which lets the benches run
 // t up to 2²² with 10⁵–10⁶ nodes. Semantics match GenericSimulator +
 // CjzFactory (cross-validated statistically in tests/test_cross_engine.cpp).
+//
+// Under RecordingTier::kNodeStats every transmission is attributed to a
+// concrete node: backoff sends are explicit calendar events, and a cohort's
+// binomial count is distributed over a uniformly sampled member subset (the
+// exact conditional law) drawn from a dedicated attribution RNG stream —
+// latency AND energy reports work here, and the trajectory is bit-identical
+// across recording tiers.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,7 @@
 #include "adversary/adversary.hpp"
 #include "channel/trace.hpp"
 #include "common/functions.hpp"
+#include "engine/attribution.hpp"
 #include "engine/calendar.hpp"
 #include "engine/sim_result.hpp"
 #include "protocols/cjz_node.hpp"
@@ -46,6 +54,7 @@ class FastCjzSimulator {
     node_id id = kNoNode;
     slot_t arrival = 0;
     slot_t from = 0;      ///< backoff channel-origin (phases 1–2)
+    std::uint64_t sends = 0;  ///< attributed channel accesses (energy)
     std::uint64_t stage = 0;
     std::uint32_t gen = 0;
     std::uint8_t phase = 1;
@@ -61,6 +70,9 @@ class FastCjzSimulator {
 
   void begin_stage(std::uint32_t idx, std::uint64_t k, Rng& rng);
   void handle_success(slot_t slot, Rng& rng);
+  /// kNodeStats tier: charge `c` of `cohort`'s members with one send each
+  /// (uniform subset; see engine/attribution.hpp).
+  void attribute_cohort_sends(const Cohort& cohort, std::uint64_t c, Rng& rng_attr);
 
   FunctionSet fs_;
   Adversary& adversary_;
@@ -79,6 +91,7 @@ class FastCjzSimulator {
   std::vector<Cohort> cohorts_;
   std::uint64_t live_ = 0;
   std::vector<std::uint64_t> offsets_scratch_;
+  SubsetScratch attr_scratch_;
 };
 
 /// Convenience one-shot runner.

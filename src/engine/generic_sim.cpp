@@ -65,12 +65,13 @@ SimResult GenericSimulator::run() {
 
     const SlotOutcome out = channel.resolve();
     trace_.record(out);
+    if (config_.recording.wants_trace()) result.slot_outcomes.push_back(out);
     if (out.jammed) ++result.jammed_slots;
     if (out.success()) {
       ++result.successes;
       if (result.first_success == 0) result.first_success = slot;
       result.last_success = slot;
-      if (config_.record_success_times) result.success_times.push_back(slot);
+      if (config_.recording.wants_success_times()) result.success_times.push_back(slot);
     }
     if (observer_ != nullptr) observer_->on_slot(out, action.inject, live);
 
@@ -84,7 +85,7 @@ SimResult GenericSimulator::run() {
       nodes[i].protocol->on_feedback_cd(slot, fb, sent_flags[i] != 0, own);
     }
     if (winner_idx < nodes.size()) {
-      if (config_.record_node_stats) {
+      if (config_.recording.wants_node_stats()) {
         NodeStats ns;
         ns.id = nodes[winner_idx].id;
         ns.arrival = nodes[winner_idx].arrival;
@@ -102,7 +103,7 @@ SimResult GenericSimulator::run() {
   }
 
   result.live_at_end = nodes.size();
-  if (config_.record_node_stats) {
+  if (config_.recording.wants_node_stats()) {
     for (const auto& node : nodes) {
       NodeStats ns;
       ns.id = node.id;
@@ -112,6 +113,7 @@ SimResult GenericSimulator::run() {
       result.node_stats.push_back(ns);
     }
   }
+  if (observer_ != nullptr) observer_->on_run_end(result);
   return result;
 }
 

@@ -8,7 +8,8 @@
 
 namespace cr {
 
-/// Latency of departed nodes (slots in system). Requires record_node_stats.
+/// Latency of departed nodes (slots in system). Requires
+/// RecordingTier::kNodeStats; every engine supports it.
 struct LatencyReport {
   std::uint64_t departed = 0;
   std::uint64_t stranded = 0;  ///< still live at end of run
@@ -19,8 +20,10 @@ struct LatencyReport {
 };
 LatencyReport latency_report(const SimResult& result);
 
-/// Channel accesses per departed node (energy). Requires record_node_stats
-/// from the generic engine (fast engines do not attribute sends).
+/// Channel accesses per departed node (energy). Requires
+/// RecordingTier::kNodeStats; the fast engines attribute every cohort
+/// transmission to a concrete member (see engine/attribution.hpp), so this
+/// works on all engines.
 struct EnergyReport {
   std::uint64_t departed = 0;
   double mean = 0.0;
@@ -31,11 +34,11 @@ struct EnergyReport {
 EnergyReport energy_report(const SimResult& result);
 
 /// Number of successes in slot window [from, to]. Requires
-/// record_success_times.
+/// RecordingTier::kSuccessTimes.
 std::uint64_t successes_in_window(const SimResult& result, slot_t from, slot_t to);
 
 /// Max latency among nodes that arrived in [from, to] (0 if none departed).
-/// Requires record_node_stats.
+/// Requires RecordingTier::kNodeStats.
 std::uint64_t max_latency_for_arrivals(const SimResult& result, slot_t from, slot_t to);
 
 }  // namespace cr

@@ -1,0 +1,38 @@
+#include "metrics/windowed.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cr {
+
+WindowedMetrics::WindowedMetrics(slot_t window) : window_(window) { CR_CHECK(window >= 1); }
+
+void WindowedMetrics::on_slot(const SlotOutcome& out, std::uint64_t injected,
+                              std::uint64_t live_nodes) {
+  if (slots_in_window_ == 0) cur_.start = out.slot;
+  cur_.end = out.slot;
+  cur_.arrivals += injected;
+  cur_.successes += out.success() ? 1 : 0;
+  cur_.jammed += out.jammed ? 1 : 0;
+  cur_.sends += out.senders;
+  cur_.live_max = std::max(cur_.live_max, live_nodes);
+  cur_.live_end = live_nodes;
+  live_sum_ += live_nodes;
+  peak_backlog_ = std::max(peak_backlog_, live_nodes);
+  if (++slots_in_window_ == window_) flush();
+}
+
+void WindowedMetrics::on_run_end(const SimResult&) {
+  if (slots_in_window_ > 0) flush();
+}
+
+void WindowedMetrics::flush() {
+  cur_.live_mean = static_cast<double>(live_sum_) / static_cast<double>(slots_in_window_);
+  series_.push_back(cur_);
+  cur_ = WindowStats{};
+  live_sum_ = 0;
+  slots_in_window_ = 0;
+}
+
+}  // namespace cr

@@ -107,8 +107,7 @@ TEST(EdgeCases, EmptyRunProducesEmptyResult) {
   auto adv = make_adv(no_arrivals(), no_jam());
   SimConfig cfg;
   cfg.horizon = 1000;
-  cfg.record_node_stats = true;
-  cfg.record_success_times = true;
+  cfg.recording = RecordingConfig::full_trace();
   const SimResult res = run_generic(factory, adv, cfg);
   EXPECT_EQ(res.arrivals, 0u);
   EXPECT_EQ(res.active_slots, 0u);

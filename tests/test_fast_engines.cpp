@@ -9,6 +9,7 @@
 #include "engine/calendar.hpp"
 #include "engine/fast_batch.hpp"
 #include "engine/fast_cjz.hpp"
+#include "engine/generic_sim.hpp"
 #include "exp/scenarios.hpp"
 #include "protocols/batch.hpp"
 
@@ -102,7 +103,7 @@ TEST(FastCjz, NodeStatsRecorded) {
   cfg.horizon = 200'000;
   cfg.seed = 37;
   cfg.stop_when_empty = true;
-  cfg.record_node_stats = true;
+  cfg.recording = RecordingConfig::node_stats();
   const SimResult res = run_fast_cjz(fs, adv, cfg);
   EXPECT_EQ(res.node_stats.size(), 64u);
   for (const auto& ns : res.node_stats) {
@@ -110,6 +111,114 @@ TEST(FastCjz, NodeStatsRecorded) {
     EXPECT_EQ(ns.arrival, 1u);
     EXPECT_GE(ns.departure, ns.arrival);
   }
+}
+
+TEST(FastCjz, AttributedSendsSumToTotal) {
+  // Every transmission — backoff calendar events AND cohort binomial draws —
+  // must be charged to a concrete node under the kNodeStats tier.
+  FunctionSet fs = functions_constant_g(4.0);
+  auto adv = make_adv(batch_arrival(80, 1), iid_jammer(0.2));
+  SimConfig cfg;
+  cfg.horizon = 20'000;  // no stop_when_empty: stranded nodes count too
+  cfg.seed = 53;
+  cfg.recording = RecordingConfig::node_stats();
+  const SimResult res = run_fast_cjz(fs, adv, cfg);
+  ASSERT_EQ(res.node_stats.size(), 80u);
+  std::uint64_t sum = 0, departed_with_sends = 0;
+  for (const auto& ns : res.node_stats) {
+    sum += ns.sends;
+    if (ns.departed()) {
+      EXPECT_GE(ns.sends, 1u) << "a departed node made at least its winning send";
+      ++departed_with_sends;
+    }
+  }
+  EXPECT_EQ(sum, res.total_sends);
+  EXPECT_EQ(departed_with_sends, res.successes);
+}
+
+TEST(FastCjz, RecordingTierDoesNotPerturbTrajectory) {
+  // Attribution draws on a dedicated RNG stream: aggregates are
+  // bit-identical whether recording is off, light, or full.
+  FunctionSet fs = functions_constant_g(4.0);
+  auto run_at = [&](RecordingConfig recording) {
+    auto adv = make_adv(batch_arrival(48, 1), iid_jammer(0.25));
+    SimConfig cfg;
+    cfg.horizon = 50'000;
+    cfg.seed = 59;
+    cfg.stop_when_empty = true;
+    cfg.recording = recording;
+    return run_fast_cjz(fs, adv, cfg);
+  };
+  const SimResult bare = run_at(RecordingConfig::none());
+  const SimResult full = run_at(RecordingConfig::full_trace());
+  EXPECT_EQ(bare.slots, full.slots);
+  EXPECT_EQ(bare.successes, full.successes);
+  EXPECT_EQ(bare.total_sends, full.total_sends);
+  EXPECT_EQ(bare.first_success, full.first_success);
+  EXPECT_EQ(bare.last_success, full.last_success);
+  EXPECT_EQ(full.slot_outcomes.size(), full.slots);
+}
+
+TEST(FastBatch, AttributedSendsSumToTotal) {
+  auto adv = make_adv(scheduled_arrivals({{1, 40}, {500, 20}}), iid_jammer(0.15));
+  SimConfig cfg;
+  cfg.horizon = 4'000;  // far from drained: exercises stranded attribution
+  cfg.seed = 61;
+  cfg.recording = RecordingConfig::node_stats();
+  const SimResult res = run_fast_batch(profiles::h_data(), adv, cfg);
+  ASSERT_EQ(res.node_stats.size(), 60u);
+  std::uint64_t sum = 0;
+  for (const auto& ns : res.node_stats) {
+    sum += ns.sends;
+    if (ns.departed()) {
+      EXPECT_GE(ns.sends, 1u);
+    }
+  }
+  EXPECT_EQ(sum, res.total_sends);
+}
+
+TEST(FastBatch, RecordingTierDoesNotPerturbTrajectory) {
+  auto run_at = [&](RecordingConfig recording) {
+    auto adv = make_adv(batch_arrival(64, 1), no_jam());
+    SimConfig cfg;
+    cfg.horizon = 50'000;
+    cfg.seed = 67;
+    cfg.recording = recording;
+    return run_fast_batch(profiles::h_data(), adv, cfg);
+  };
+  const SimResult bare = run_at(RecordingConfig::none());
+  const SimResult full = run_at(RecordingConfig::full_trace());
+  EXPECT_EQ(bare.successes, full.successes);
+  EXPECT_EQ(bare.total_sends, full.total_sends);
+  EXPECT_EQ(bare.first_success, full.first_success);
+  EXPECT_EQ(bare.last_success, full.last_success);
+}
+
+TEST(FastBatch, DeterministicProfileMatchesGenericExactly) {
+  // aloha(1.0) leaves no randomness in the protocol: both engines must
+  // produce the very same trajectory (perpetual 2-node collision).
+  auto run_fast = [&] {
+    auto adv = make_adv(batch_arrival(2, 1), no_jam());
+    SimConfig cfg;
+    cfg.horizon = 200;
+    cfg.recording = RecordingConfig::full_trace();
+    return run_fast_batch(profiles::aloha(1.0), adv, cfg);
+  };
+  auto run_ref = [&] {
+    ProfileProtocolFactory factory(profiles::aloha(1.0));
+    auto adv = make_adv(batch_arrival(2, 1), no_jam());
+    SimConfig cfg;
+    cfg.horizon = 200;
+    cfg.recording = RecordingConfig::full_trace();
+    return run_generic(factory, adv, cfg);
+  };
+  const SimResult fast = run_fast();
+  const SimResult ref = run_ref();
+  EXPECT_EQ(fast.slot_outcomes, ref.slot_outcomes);
+  EXPECT_EQ(fast.total_sends, ref.total_sends);
+  ASSERT_EQ(fast.node_stats.size(), ref.node_stats.size());
+  for (std::size_t i = 0; i < fast.node_stats.size(); ++i)
+    EXPECT_EQ(fast.node_stats[i].sends, ref.node_stats[i].sends) << i;
 }
 
 TEST(FastBatch, SingleNodeImmediateSuccess) {
@@ -157,7 +266,7 @@ TEST(FastBatch, MultipleCohortLatencies) {
   SimConfig cfg;
   cfg.horizon = 100'000;
   cfg.seed = 47;
-  cfg.record_node_stats = true;
+  cfg.recording = RecordingConfig::node_stats();
   const SimResult res = run_fast_batch(profiles::h_data(), adv, cfg);
   EXPECT_EQ(res.successes, 20u);
   int early = 0, late = 0;

@@ -25,7 +25,7 @@ TEST(GenericSim, SingleAlohaNodeWinsFirstSlot) {
   auto adv = make_adv(batch_arrival(1, 4), no_jam());
   SimConfig cfg;
   cfg.horizon = 10;
-  cfg.record_success_times = true;
+  cfg.recording = RecordingConfig::success_times();
   const SimResult res = run_generic(factory, adv, cfg);
   EXPECT_EQ(res.successes, 1u);
   EXPECT_EQ(res.first_success, 4u);
@@ -53,7 +53,7 @@ TEST(GenericSim, SuccessesEqualDepartures) {
   cfg.horizon = 100'000;
   cfg.seed = 13;
   cfg.stop_when_empty = true;
-  cfg.record_node_stats = true;
+  cfg.recording = RecordingConfig::node_stats();
   const SimResult res = run_generic(factory, adv, cfg);
   EXPECT_EQ(res.successes + res.live_at_end, 40u);
   std::uint64_t departed = 0;
@@ -68,7 +68,7 @@ TEST(GenericSim, NodeStatsSendsSumToTotal) {
   cfg.horizon = 50'000;
   cfg.seed = 17;
   cfg.stop_when_empty = true;
-  cfg.record_node_stats = true;
+  cfg.recording = RecordingConfig::node_stats();
   const SimResult res = run_generic(factory, adv, cfg);
   std::uint64_t sum = 0;
   for (const auto& ns : res.node_stats) sum += ns.sends;
@@ -178,7 +178,7 @@ TEST(GenericSim, SuccessTimesSortedAndComplete) {
   cfg.horizon = 100'000;
   cfg.seed = 3;
   cfg.stop_when_empty = true;
-  cfg.record_success_times = true;
+  cfg.recording = RecordingConfig::success_times();
   const SimResult res = run_generic(factory, adv, cfg);
   EXPECT_EQ(res.success_times.size(), res.successes);
   EXPECT_TRUE(std::is_sorted(res.success_times.begin(), res.success_times.end()));

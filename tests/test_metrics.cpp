@@ -2,10 +2,14 @@
 // online (f,g)-throughput checker fed with synthetic slot outcomes.
 #include <gtest/gtest.h>
 
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
 #include "channel/channel.hpp"
+#include "engine/fast_cjz.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/throughput_check.hpp"
+#include "metrics/windowed.hpp"
 
 namespace cr {
 namespace {
@@ -107,6 +111,82 @@ TEST(ThroughputChecker, SeriesSampling) {
   EXPECT_EQ(checker.series().front().t, 10u);
   EXPECT_EQ(checker.series().back().t, 100u);
   EXPECT_EQ(checker.series().back().a_t, 100u);
+}
+
+TEST(WindowedMetrics, FoldsSlotsIntoWindows) {
+  WindowedMetrics windows(4);
+  // 10 synthetic slots: 3 arrivals at slot 1, successes at 3 and 7, jam at 5.
+  for (slot_t s = 1; s <= 10; ++s) {
+    const bool jam = s == 5;
+    const bool success = s == 3 || s == 7;
+    const std::uint64_t senders = success ? 1 : 2;
+    windows.on_slot(resolve_slot(s, senders, jam, success ? 1 : kNoNode), s == 1 ? 3 : 0,
+                    3 - (s >= 3 ? 1 : 0) - (s >= 7 ? 1 : 0));
+  }
+  windows.on_run_end(SimResult{});
+  ASSERT_EQ(windows.series().size(), 3u) << "two full windows + flushed partial";
+  const WindowStats& w0 = windows.series()[0];
+  EXPECT_EQ(w0.start, 1u);
+  EXPECT_EQ(w0.end, 4u);
+  EXPECT_EQ(w0.arrivals, 3u);
+  EXPECT_EQ(w0.successes, 1u);
+  EXPECT_EQ(w0.jammed, 0u);
+  EXPECT_EQ(w0.sends, 2u + 2u + 1u + 2u);
+  EXPECT_EQ(w0.live_max, 3u);
+  EXPECT_EQ(w0.live_end, 2u);
+  EXPECT_DOUBLE_EQ(w0.throughput(), 0.25);
+  const WindowStats& w1 = windows.series()[1];
+  EXPECT_EQ(w1.jammed, 1u);
+  EXPECT_EQ(w1.successes, 1u);
+  const WindowStats& w2 = windows.series()[2];
+  EXPECT_EQ(w2.start, 9u);
+  EXPECT_EQ(w2.end, 10u);
+  EXPECT_EQ(w2.width(), 2u);
+  EXPECT_EQ(windows.peak_backlog(), 3u);
+}
+
+TEST(WindowedMetrics, AgreesWithEngineCountersOnARealRun) {
+  FunctionSet fs = functions_constant_g(4.0);
+  ComposedAdversary adv(batch_arrival(32, 1), iid_jammer(0.2));
+  SimConfig cfg;
+  cfg.horizon = 10'000;
+  cfg.seed = 5;
+  WindowedMetrics windows(128);
+  const SimResult res = run_fast_cjz(fs, adv, cfg, &windows);
+  std::uint64_t successes = 0, jammed = 0, sends = 0, arrivals = 0;
+  slot_t covered = 0;
+  for (const WindowStats& w : windows.series()) {
+    successes += w.successes;
+    jammed += w.jammed;
+    sends += w.sends;
+    arrivals += w.arrivals;
+    covered += w.width();
+  }
+  EXPECT_EQ(covered, res.slots) << "windows tile the run exactly";
+  EXPECT_EQ(successes, res.successes);
+  EXPECT_EQ(jammed, res.jammed_slots);
+  EXPECT_EQ(sends, res.total_sends);
+  EXPECT_EQ(arrivals, res.arrivals);
+}
+
+TEST(ObserverChain, FansOutToAllObserversAndSkipsNull) {
+  class Counter final : public SlotObserver {
+   public:
+    int slots = 0, ends = 0;
+    void on_slot(const SlotOutcome&, std::uint64_t, std::uint64_t) override { ++slots; }
+    void on_run_end(const SimResult&) override { ++ends; }
+  };
+  Counter a, b;
+  ObserverChain chain{&a, nullptr, &b};
+  FunctionSet fs = functions_constant_g(4.0);
+  ComposedAdversary adv(batch_arrival(4, 1), no_jam());
+  SimConfig cfg;
+  cfg.horizon = 500;
+  run_fast_cjz(fs, adv, cfg, &chain);
+  EXPECT_EQ(a.slots, 500);
+  EXPECT_EQ(b.slots, 500);
+  EXPECT_EQ(a.ends, 1);
+  EXPECT_EQ(b.ends, 1);
 }
 
 }  // namespace

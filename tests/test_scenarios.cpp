@@ -135,7 +135,7 @@ SimResult run_batch_rep(std::uint64_t seed) {
   Scenario sc = batch_scenario(24, 0.25, 100'000, functions_constant_g(4.0));
   sc.config.seed = seed;
   sc.config.stop_when_empty = true;
-  sc.config.record_success_times = true;  // exercise vector payloads too
+  sc.config.recording = RecordingConfig::success_times();  // exercise vector payloads too
   return run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc);
 }
 

@@ -81,6 +81,52 @@ TEST(Quantiles, AddAfterQuery) {
   EXPECT_DOUBLE_EQ(q.max(), 3.0);
 }
 
+TEST(Quantiles, EmptySampleReturnsZeroForEveryQ) {
+  const Quantiles q;
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(q.median(), 0.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(q.max(), 0.0);
+}
+
+TEST(Quantiles, SingleSampleIsEveryQuantile) {
+  Quantiles q;
+  q.add(7.5);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(q.quantile(0.01), 7.5);
+  EXPECT_DOUBLE_EQ(q.median(), 7.5);
+  EXPECT_DOUBLE_EQ(q.quantile(0.99), 7.5);
+  EXPECT_DOUBLE_EQ(q.max(), 7.5);
+}
+
+TEST(Quantiles, P99OnTinySamplesIsNotTheMax) {
+  // Nearest rank: over 100 samples, p99 is the 99th order statistic — the
+  // naive ceil(0.99·100) = ceil(99.00000000000001) = 100 off-by-one (IEEE
+  // representation of 0.99) used to return the maximum instead.
+  Quantiles q;
+  for (int i = 1; i <= 100; ++i) q.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(q.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.01), 1.0);
+}
+
+TEST(Quantiles, TinySampleTailBehaviour) {
+  // n=2: p99 lands on the 2nd order statistic, p50 on the 1st.
+  Quantiles two;
+  two.add(10.0);
+  two.add(20.0);
+  EXPECT_DOUBLE_EQ(two.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(two.quantile(0.99), 20.0);
+  // n=3: ranks ceil(3q) = 2 (median), 3 (p99).
+  Quantiles three;
+  for (double x : {30.0, 10.0, 20.0}) three.add(x);
+  EXPECT_DOUBLE_EQ(three.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(three.quantile(0.99), 30.0);
+  // Exact rank boundaries stay exact: q = 1/3 is the 1st order statistic.
+  EXPECT_DOUBLE_EQ(three.quantile(1.0 / 3.0), 10.0);
+}
+
 TEST(Summary, FromAccumulator) {
   Accumulator acc;
   acc.add(1.0);
