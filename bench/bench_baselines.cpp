@@ -1,170 +1,13 @@
-// E7 "baseline comparison" — related-work framing (§1).
-//
-// Plain backoff schemes (binary exponential, polynomial, sawtooth) are known
-// not to deliver constant throughput on batch arrivals; the CJZ algorithm
-// does (up to its f factor). We race them on an n-node batch with no
-// jamming and report the median completion time (capped at the horizon) and
-// the fraction delivered within 32n slots.
-//
-// Every contender is a ProtocolSpec; the registry picks the fastest engine
-// that can execute it (cohort engines for CJZ and the probability profile,
-// the per-node reference engine for the windowed schemes).
-//
-// Flags: --reps=N (default 7), --max_n (default 512), --quick, --threads
-#include <iostream>
+// Thin compatibility wrapper over the BenchRegistry entry "baselines"
+// (implementation: src/cli/benches/baselines.cpp). Prefer `cr bench baselines`;
+// this binary is kept so existing scripts keep working — see the migration
+// table in README.md.
+#include <string>
 #include <vector>
 
-#include "common/table.hpp"
-#include "exp/bench_driver.hpp"
-#include "exp/harness.hpp"
-#include "exp/scenarios.hpp"
-#include "metrics/metrics.hpp"
-#include "protocols/baselines.hpp"
-#include "protocols/batch.hpp"
-
-using namespace cr;
-
-namespace {
-
-struct Contender {
-  const char* label;
-  ProtocolSpec spec;
-};
-
-std::vector<Contender> contenders(bool with_profile) {
-  std::vector<Contender> out;
-  out.push_back({"cjz", cjz_protocol(functions_constant_g(4.0))});
-  out.push_back({"beb", factory_protocol("windowed-beb", [] {
-                   return windowed_backoff_factory({});
-                 })});
-  out.push_back({"sawtooth", factory_protocol("windowed-sawtooth", [] {
-                   return windowed_backoff_factory({.scheme = WindowScheme::kSawtooth});
-                 })});
-  out.push_back({"poly", factory_protocol("windowed-poly", [] {
-                   return windowed_backoff_factory(
-                       {.scheme = WindowScheme::kPolynomial, .poly_exponent = 2.0});
-                 })});
-  if (with_profile) out.push_back({"h_data", profile_protocol(profiles::h_data())});
-  return out;
-}
-
-struct Outcome {
-  double median_completion;
-  double frac_by_32n;
-  bool capped;
-};
-
-Outcome race(const ProtocolSpec& spec, std::uint64_t n, const BenchDriver& driver, int reps,
-             std::uint64_t base_seed) {
-  const Engine& engine = EngineRegistry::instance().preferred(spec);
-  const slot_t horizon = 4000 * n;
-  const auto results = driver.replicate(reps, base_seed, [&](std::uint64_t s) {
-    Scenario sc = batch_scenario(n, 0.0, horizon, functions_constant_g(4.0));
-    sc.protocol = spec;
-    sc.config.seed = s;
-    sc.config.stop_when_empty = true;
-    sc.config.recording = RecordingConfig::success_times();
-    return run_scenario(engine, sc);
-  });
-  Quantiles completion;
-  Accumulator frac;
-  bool capped = false;
-  for (const SimResult& res : results) {
-    if (res.live_at_end != 0) capped = true;
-    completion.add(static_cast<double>(res.live_at_end == 0 ? res.last_success : res.slots));
-    frac.add(static_cast<double>(successes_in_window(res, 1, 32 * n)) /
-             static_cast<double>(n));
-  }
-  return {completion.median(), frac.mean(), capped};
-}
-
-}  // namespace
+#include "cli/bench_registry.hpp"
 
 int main(int argc, char** argv) {
-  const BenchDriver driver(argc, argv,
-                           {"E7", "CJZ vs classical backoff baselines", {"max_n"}});
-  const bool quick = driver.quick();
-  const int reps = driver.reps(7, 3);
-  const auto max_n = static_cast<std::uint64_t>(driver.get_int("max_n", 512, 256));
-
-  std::cout << "E7: CJZ vs classical backoff baselines on an n-node batch (no jamming)\n"
-            << "median completion (slots; '>' = some runs hit the horizon cap) and\n"
-            << "fraction delivered within 32n slots.\n\n";
-
-  Table table({"n", "protocol", "median completion", "completion/n", "frac by 32n"});
-  for (std::uint64_t n = 64; n <= max_n; n <<= 1) {
-    for (const Contender& c : contenders(/*with_profile=*/true)) {
-      const Outcome o = race(c.spec, n, driver, reps, driver.seed(61000));
-      std::string med = o.capped ? ">" : "";
-      med += format_double(o.median_completion, 0);
-      table.add_row({Cell(n), c.label, med,
-                     Cell(o.median_completion / static_cast<double>(n), 1),
-                     Cell(o.frac_by_32n, 3)});
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nReading: on a clean batch the windowed schemes and CJZ are all ~n·polylog\n"
-               "(constants differ); the probability-profile BEB (h_data) collapses. The\n"
-               "structural separations show under dynamic arrivals and jamming:\n\n";
-
-  // E7b: sustained arrival stream, moderate and overload rates.
-  std::cout << "E7b: Bernoulli arrival stream for t slots, no jamming\n\n";
-  Table t2({"t", "rate", "protocol", "arrivals", "served", "backlog at end"});
-  const slot_t t = quick ? (1 << 15) : (1 << 17);
-  for (const double rate : {0.1, 0.45}) {
-    for (const Contender& c : contenders(/*with_profile=*/false)) {
-      const Engine& engine = EngineRegistry::instance().preferred(c.spec);
-      ScenarioParams params;
-      params.horizon = t;
-      params.rate = rate;
-      params.jam = 0.0;
-      const auto results = driver.replicate(reps, driver.seed(66000), [&](std::uint64_t s) {
-        ScenarioParams p = params;
-        p.seed = s;
-        Scenario sc = ScenarioRegistry::instance().build("bernoulli_stream", p);
-        sc.protocol = c.spec;
-        return run_scenario(engine, sc);
-      });
-      const auto arrivals =
-          collect(results, [](const SimResult& r) { return static_cast<double>(r.arrivals); });
-      const auto served = collect(results, [](const SimResult& r) {
-        return r.arrivals ? static_cast<double>(r.successes) / static_cast<double>(r.arrivals)
-                          : 1.0;
-      });
-      const auto backlog =
-          collect(results, [](const SimResult& r) { return static_cast<double>(r.live_at_end); });
-      t2.add_row({Cell(static_cast<std::uint64_t>(t)), Cell(rate, 2), c.label,
-                  Cell(arrivals.mean(), 0), Cell(served.mean(), 3), mean_sd(backlog, 1)});
-    }
-  }
-  t2.print(std::cout);
-
-  // E7c: batch under 25% jamming.
-  std::cout << "\nE7c: batch of n under 25% i.i.d. jamming — fraction delivered by 64n\n\n";
-  Table t3({"n", "protocol", "frac by 64n"});
-  const std::uint64_t nj = quick ? 128 : 256;
-  for (const Contender& c : contenders(/*with_profile=*/true)) {
-    const Engine& engine = EngineRegistry::instance().preferred(c.spec);
-    const auto results = driver.replicate(reps, driver.seed(67000), [&](std::uint64_t s) {
-      Scenario sc = batch_scenario(nj, 0.25, 64 * nj, functions_constant_g(4.0));
-      sc.protocol = c.spec;
-      sc.config.seed = s;
-      return run_scenario(engine, sc);
-    });
-    const auto frac = collect(results, [&](const SimResult& r) {
-      return static_cast<double>(r.successes) / static_cast<double>(nj);
-    });
-    t3.add_row({Cell(nj), c.label, mean_sd(frac, 3)});
-  }
-  t3.print(std::cout);
-
-  std::cout << "\nReading (honest): on benign workloads — clean batches, Bernoulli streams,\n"
-               "even i.i.d. jamming — the windowed schemes are competitive with CJZ (their\n"
-               "constants are smaller; CJZ pays its f = Theta(log) overhead). The paper's\n"
-               "separations are adversarial: the probability-profile BEB collapses on\n"
-               "batches (E3/Claim 3.5.1), and every windowed scheme is a non-adaptive\n"
-               "sequence in Theorem 4.2's sense, losing to h-backoff under prefix jamming\n"
-               "(see bench_nonadaptive). CJZ is the only contender with worst-case\n"
-               "guarantees across all of these at once.\n";
-  return 0;
+  return cr::BenchRegistry::instance().run(
+      "baselines", std::vector<std::string>(argv + 1, argv + argc));
 }

@@ -1,64 +1,13 @@
-// E4 "batch robustness" — remark after Claim 3.5.1 + the batch subroutine's
-// role in the algorithm (Section 2, "Achieving jamming resistance").
-//
-// Prediction: with n nodes starting simultaneously, h_data-batch delivers a
-// constant fraction of all n messages within O(n) slots even when a constant
-// fraction of those slots is jammed. (Finishing *all* of them is what it
-// cannot do — see E3.)
-//
-// We sweep the jamming rate and report the fraction delivered within c·n
-// slots for c ∈ {2, 4, 8}.
-//
-// Flags: --n (default 4096), --reps=N (default 15), --quick, --threads
-#include <iostream>
+// Thin compatibility wrapper over the BenchRegistry entry "batch_robustness"
+// (implementation: src/cli/benches/batch_robustness.cpp). Prefer `cr bench batch_robustness`;
+// this binary is kept so existing scripts keep working — see the migration
+// table in README.md.
+#include <string>
+#include <vector>
 
-#include "common/table.hpp"
-#include "exp/bench_driver.hpp"
-#include "exp/harness.hpp"
-#include "exp/scenarios.hpp"
-#include "metrics/metrics.hpp"
-#include "protocols/batch.hpp"
-
-using namespace cr;
+#include "cli/bench_registry.hpp"
 
 int main(int argc, char** argv) {
-  const BenchDriver driver(argc, argv,
-                           {"E4", "h_data-batch delivers a constant fraction under jamming",
-                            {"n"}});
-  const auto n = static_cast<std::uint64_t>(driver.get_int("n", 4096, 1024));
-  const int reps = driver.reps(15, 5);
-
-  std::cout << "E4: h_data-batch delivers a constant fraction of n in O(n) slots under jamming\n"
-            << "n = " << n << ", i.i.d. jamming at the given rate.\n\n";
-
-  const ProtocolSpec h_data = profile_protocol(profiles::h_data());
-  const Engine& engine = EngineRegistry::instance().preferred(h_data);
-
-  Table table({"jam rate", "frac by 2n", "frac by 4n", "frac by 8n"});
-  for (const double jam : {0.0, 0.1, 0.25, 0.4}) {
-    const auto results = driver.replicate(reps, driver.seed(31000), [&](std::uint64_t s) {
-      Scenario sc = batch_scenario(n, jam, 8 * n, functions_constant_g(4.0));
-      sc.protocol = h_data;
-      sc.config.seed = s;
-      sc.config.recording = RecordingConfig::success_times();
-      return run_scenario(engine, sc);
-    });
-    const double dn = static_cast<double>(n);
-    const auto by2 = collect(results, [&](const SimResult& r) {
-      return static_cast<double>(successes_in_window(r, 1, 2 * n)) / dn;
-    });
-    const auto by4 = collect(results, [&](const SimResult& r) {
-      return static_cast<double>(successes_in_window(r, 1, 4 * n)) / dn;
-    });
-    const auto by8 = collect(results, [&](const SimResult& r) {
-      return static_cast<double>(successes_in_window(r, 1, 8 * n)) / dn;
-    });
-    table.add_row({Cell(jam, 2), mean_sd(by2, 3), mean_sd(by4, 3), mean_sd(by8, 3)});
-  }
-  table.print(std::cout);
-
-  std::cout << "\nReading: even at 40% jamming a constant fraction (not a vanishing one) of\n"
-               "the batch is delivered within a few multiples of n — the property Phase 3\n"
-               "of the algorithm is built on.\n";
-  return 0;
+  return cr::BenchRegistry::instance().run(
+      "batch_robustness", std::vector<std::string>(argv + 1, argv + argc));
 }

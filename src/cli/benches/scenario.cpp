@@ -1,0 +1,143 @@
+// S1 "scenario" — generic registry-scenario runner.
+//
+// Unlike the E-numbered benches (each tied to one paper claim with a fixed
+// sweep), this subcommand runs ANY registered scenario at one parameter
+// point and reports the aggregate counters, means over --reps seeds. It is
+// the composition primitive for suite manifests: a grid over
+// (--scenario, --n, --jam, ...) turns one manifest cell block into an
+// arbitrary workload sweep without writing a new bench.
+//
+//   cr bench scenario --scenario=bursty --n=64 --jam_margin=8 --reps=8
+//   cr suite run ... with "grid": {"scenario": ["batch","worst_case"], ...}
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "cli/benches/benches.hpp"
+#include "common/table.hpp"
+#include "exp/bench_driver.hpp"
+#include "exp/harness.hpp"
+#include "exp/scenarios.hpp"
+
+namespace cr::benches {
+
+namespace {
+
+int run(int argc, const char* const* argv) {
+  const BenchDriver driver(argc, argv, {scenario().id, scenario().summary, scenario().flags});
+  std::ostream& out = driver.out();
+  const int reps = driver.reps(8, 3);
+
+  ScenarioParams params;
+  params.horizon = static_cast<slot_t>(driver.get_int("horizon", 1 << 16, 1 << 14));
+  params.n = static_cast<std::uint64_t>(driver.get_int("n", 256, 128));
+  params.jam = driver.cli().get_double("jam", 0.25);
+  params.rate = driver.cli().get_double("rate", 0.1);
+  params.arrival_margin = driver.cli().get_double("arrival_margin", 4.0);
+  params.jam_margin = driver.cli().get_double("jam_margin", 8.0);
+  params.g_regime = driver.cli().get_string("g_regime", "const");
+  params.gamma = driver.cli().get_double("gamma", 4.0);
+  const std::string scenario_name = driver.cli().get_string("scenario", "batch");
+  const std::string engine_name = driver.cli().get_string("engine", "preferred");
+
+  // Validate the scenario name and resolve the engine before burning any
+  // replication time; both registries abort with the known-name list. The
+  // protocol spec does not depend on the seed, so one probe build picks the
+  // engine for every replication.
+  const Scenario probe = ScenarioRegistry::instance().build(scenario_name, params);
+  const Engine& engine = engine_name == "preferred"
+                             ? EngineRegistry::instance().preferred(probe.protocol)
+                             : EngineRegistry::instance().at(engine_name);
+  if (!engine.supports(probe.protocol)) {
+    std::string compatible;
+    for (const Engine* candidate : EngineRegistry::instance().compatible(probe.protocol)) {
+      compatible += ' ';
+      compatible += candidate->name();
+    }
+    std::fprintf(stderr,
+                 "cr bench scenario: engine \"%s\" cannot execute scenario \"%s\"'s protocol; "
+                 "compatible engines:%s\n",
+                 engine_name.c_str(), scenario_name.c_str(), compatible.c_str());
+    return 2;
+  }
+  const std::string engine_used = engine.name();
+
+  out << "S1: scenario \"" << scenario_name << "\" at one parameter point, engine "
+      << engine_used << ", means over " << reps << " seeds\n\n";
+
+  const auto results = driver.replicate(reps, driver.seed(50000), [&](std::uint64_t s) {
+    ScenarioParams p = params;
+    p.seed = s;
+    Scenario sc = ScenarioRegistry::instance().build(scenario_name, p);
+    return run_scenario(engine, sc);
+  });
+
+  const auto slots =
+      collect(results, [](const SimResult& r) { return static_cast<double>(r.slots); });
+  const auto arrivals =
+      collect(results, [](const SimResult& r) { return static_cast<double>(r.arrivals); });
+  const auto successes =
+      collect(results, [](const SimResult& r) { return static_cast<double>(r.successes); });
+  const auto jammed =
+      collect(results, [](const SimResult& r) { return static_cast<double>(r.jammed_slots); });
+  const auto served = collect(results, [](const SimResult& r) {
+    return r.arrivals ? static_cast<double>(r.successes) / static_cast<double>(r.arrivals)
+                      : 1.0;
+  });
+  const auto sends =
+      collect(results, [](const SimResult& r) { return static_cast<double>(r.total_sends); });
+  const auto backlog =
+      collect(results, [](const SimResult& r) { return static_cast<double>(r.live_at_end); });
+
+  Table table({"scenario", "engine", "horizon", "n", "jam", "slots", "arrivals", "successes",
+               "jammed", "served", "sends", "backlog at end"});
+  table.add_row({scenario_name, engine_used, Cell(static_cast<std::uint64_t>(params.horizon)),
+                 Cell(params.n), Cell(params.jam, 2), Cell(slots.mean(), 0),
+                 Cell(arrivals.mean(), 1), Cell(successes.mean(), 1), Cell(jammed.mean(), 1),
+                 Cell(served.mean(), 3), Cell(sends.mean(), 1), mean_sd(backlog, 1)});
+  table.print(out);
+
+  const std::string csv_path = driver.csv_path("scenario.csv");
+  if (!csv_path.empty()) {
+    std::ofstream file(csv_path);
+    write_table_csv(table, scenario().csv_columns, file);
+    out << "\ntable written to " << csv_path << "\n";
+  }
+
+  out << "\nReading: one row per invocation by design — sweeps come from suite grids\n"
+         "(see suites/*.json), which expand a cell block into many invocations and\n"
+         "concatenate the per-cell CSVs.\n";
+  return 0;
+}
+
+}  // namespace
+
+BenchSpec scenario() {
+  BenchSpec spec;
+  spec.name = "scenario";
+  spec.id = "S1";
+  spec.summary = "generic registry-scenario runner (suite composition primitive)";
+  spec.claim = "— (runs any ScenarioRegistry workload)";
+  spec.outcome =
+      "one CSV row of aggregate counters for the named scenario at one parameter "
+      "point; sweeps come from suite grids";
+  spec.flags = {
+      {"scenario", "ScenarioRegistry workload name (default batch)"},
+      {"engine", "engine name, or \"preferred\" for the fastest compatible (default)"},
+      {"horizon", "slot horizon (default 65536, quick 16384)"},
+      {"n", "batch / burst size (default 256, quick 128)"},
+      {"jam", "i.i.d. jam fraction (default 0.25)"},
+      {"rate", "Bernoulli arrival rate, bernoulli_stream only (default 0.1)"},
+      {"arrival_margin", "paced-arrival margin, worst_case/smooth/bursty (default 4)"},
+      {"jam_margin", "budget-paced jam margin, smooth/bursty (default 8)"},
+      {"g_regime", "g regime: const | log | exp_sqrt_log (default const)"},
+      {"gamma", "const-g value / exp_sqrt_log scale (default 4)"},
+  };
+  spec.csv_columns = {"scenario", "engine", "horizon", "n",      "jam",   "slots",
+                      "arrivals", "successes", "jammed", "served", "sends", "backlog_at_end"};
+  spec.csv_row_desc = "exactly one row: aggregate counters, means over reps";
+  spec.run = run;
+  return spec;
+}
+
+}  // namespace cr::benches

@@ -1,0 +1,133 @@
+// `cr` — the single entry point for every experiment in this repo.
+//
+//   cr list [--md]                     registry listing / docs/EXPERIMENTS.md
+//   cr bench <name> [flags…]           one experiment (cr bench <name> --help)
+//   cr suite run <manifest> [flags…]   manifest-driven grid of cells
+//   cr suite expand <manifest> […]     print the cell plan, run nothing
+//   cr help                            this text
+//
+// Subsumes the 12 former bench_* binaries (still built as thin wrappers —
+// see the migration table in README.md) behind the BenchRegistry, so new
+// experiments, their docs and their suite cells all come from one
+// registration.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/bench_registry.hpp"
+#include "cli/docs_gen.hpp"
+#include "cli/suite.hpp"
+#include "common/cli.hpp"
+
+namespace {
+
+int usage(int exit_code) {
+  std::FILE* os = exit_code == 0 ? stdout : stderr;
+  std::fprintf(os,
+               "cr — contention-resolution experiment tool (conf_podc_ChenJZ21)\n"
+               "\n"
+               "usage:\n"
+               "  cr list [--md]                      list benches/scenarios/engines\n"
+               "                                      (--md: emit docs/EXPERIMENTS.md)\n"
+               "  cr bench <name> [flags...]          run one experiment\n"
+               "                                      (cr bench <name> --help for flags)\n"
+               "  cr suite run <manifest> [flags...]  run a suite manifest\n"
+               "      --out=DIR      override the manifest's output_dir\n"
+               "      --quick        append --quick to every cell\n"
+               "      --shard=i/n    run only cells with index %% n == i-1 (1-based)\n"
+               "      --threads=N    per-cell replication workers (default: all cores)\n"
+               "      --force        rerun cells whose CSV already exists\n"
+               "  cr suite expand <manifest> [--shard=i/n] [--quick] [--out=DIR]\n"
+               "                                      print the cell plan, run nothing\n"
+               "  cr help                             this text\n");
+  return exit_code;
+}
+
+int run_list(int argc, const char* const* argv) {
+  const cr::Cli cli(argc, argv);
+  cli.declare({"md"});
+  cli.reject_unknown();
+  if (cli.get_bool("md", false))
+    std::cout << cr::experiments_markdown();
+  else
+    std::cout << cr::registry_listing_text();
+  return 0;
+}
+
+int run_suite_cmd(const std::string& sub, int argc, const char* const* argv) {
+  const cr::Cli cli(argc, argv);
+  cli.declare({"out", "quick", "shard", "threads", "force"});
+  cli.reject_unknown();
+  cr::SuiteRunOptions opts;
+  // Cli's `--name value` rule means a bare boolean written BEFORE the
+  // manifest path swallows the path as its value (`cr suite run --force
+  // suites/x.json`). A boolean flag carrying a non-boolean value is exactly
+  // that case: reinterpret the value as the manifest path and the flag as
+  // set.
+  std::vector<std::string> paths = cli.positional();
+  const auto take_bool = [&](const char* name) {
+    const std::string value = cli.get_string(name, "");
+    if (value.empty()) return false;
+    if (value == "true" || value == "1" || value == "yes") return true;
+    if (value == "false" || value == "0" || value == "no") return false;
+    paths.push_back(value);
+    return true;
+  };
+  opts.quick = take_bool("quick");
+  opts.force = take_bool("force");
+  if (paths.size() != 1) {
+    std::fprintf(stderr, "cr suite %s: exactly one manifest path is required\n", sub.c_str());
+    return 2;
+  }
+  const cr::SuiteLoadResult loaded = cr::load_suite(paths[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cr suite %s: %s\n", sub.c_str(), loaded.error.c_str());
+    return 2;
+  }
+  opts.output_dir = cli.get_string("out", "");
+  opts.threads = cli.get_int("threads", 0);
+  opts.dry_run = sub == "expand";
+  const std::string shard = cli.get_string("shard", "");
+  if (!shard.empty() && !cr::parse_shard(shard, &opts.shard)) {
+    std::fprintf(stderr, "cr suite %s: --shard expects i/n with 1 <= i <= n, got \"%s\"\n",
+                 sub.c_str(), shard.c_str());
+    return 2;
+  }
+  if (cli.has("threads") && opts.threads < 1) {
+    std::fprintf(stderr, "cr suite %s: --threads must be >= 1\n", sub.c_str());
+    return 2;
+  }
+  return cr::run_suite(loaded.spec, opts, std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(0);
+  // Cli treats argv[0] as the program name, so hand each subcommand an argv
+  // that starts at its own token ("list" / "run" / "expand").
+  if (cmd == "list") return run_list(argc - 1, argv + 1);
+  if (cmd == "bench") {
+    if (argc < 3) {
+      std::fprintf(stderr, "cr bench: a bench name is required; known:");
+      for (const auto& name : cr::BenchRegistry::instance().names())
+        std::fprintf(stderr, " %s", name.c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    const std::vector<std::string> args(argv + 3, argv + argc);
+    return cr::BenchRegistry::instance().run(argv[2], args);
+  }
+  if (cmd == "suite") {
+    if (argc < 3 || (std::string(argv[2]) != "run" && std::string(argv[2]) != "expand")) {
+      std::fprintf(stderr, "cr suite: expected \"run\" or \"expand\"\n");
+      return 2;
+    }
+    return run_suite_cmd(argv[2], argc - 2, argv + 2);
+  }
+  std::fprintf(stderr, "cr: unknown command \"%s\"\n\n", cmd.c_str());
+  return usage(2);
+}

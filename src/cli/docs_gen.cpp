@@ -1,0 +1,227 @@
+#include "cli/docs_gen.hpp"
+
+#include <sstream>
+
+#include "cli/bench_registry.hpp"
+#include "engine/engine.hpp"
+#include "exp/scenarios.hpp"
+
+namespace cr {
+
+namespace {
+
+/// Escape '|' for use inside a markdown table cell.
+std::string md_cell(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '|') out += "\\|";
+    else out += c;
+  }
+  return out;
+}
+
+std::string flag_list(const BenchSpec& spec) {
+  if (spec.flags.empty()) return "—";
+  std::string out;
+  for (const BenchFlag& flag : spec.flags) {
+    if (!out.empty()) out += ", ";
+    out += "`--" + flag.name + "`";
+  }
+  return out;
+}
+
+std::string column_list(const BenchSpec& spec) {
+  std::string out;
+  for (const std::string& column : spec.csv_columns) {
+    if (!out.empty()) out += ", ";
+    out += "`" + column + "`";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string registry_listing_text() {
+  std::ostringstream os;
+  os << "benches (cr bench <name>):\n";
+  for (const BenchSpec& spec : BenchRegistry::instance().entries())
+    os << "  " << spec.name << std::string(spec.name.size() < 18 ? 18 - spec.name.size() : 1, ' ')
+       << spec.id << "  " << spec.summary << "\n";
+  os << "\nscenarios (cr bench scenario --scenario=<name>):\n";
+  for (const ScenarioEntry& entry : ScenarioRegistry::instance().entries())
+    os << "  " << entry.name
+       << std::string(entry.name.size() < 18 ? 18 - entry.name.size() : 1, ' ')
+       << entry.description << "\n";
+  os << "\nengines (--engine on the scenario bench; others pick preferred()):\n";
+  for (const std::string& name : EngineRegistry::instance().names()) os << "  " << name << "\n";
+  os << "\n`cr list --md` prints docs/EXPERIMENTS.md; `cr help` prints usage.\n";
+  return os.str();
+}
+
+std::string experiments_markdown() {
+  std::ostringstream os;
+  os << "# Experiment index\n"
+     << "\n"
+     << "<!-- GENERATED FILE — do not edit by hand. This file is the verbatim\n"
+     << "     output of `cr list --md`, rendered from the bench/scenario/engine\n"
+     << "     registries; the docs-labelled CTest entry byte-diffs it against\n"
+     << "     that output and fails on any drift. To regenerate:\n"
+     << "       ./build/src/cr list --md > docs/EXPERIMENTS.md -->\n"
+     << "\n"
+     << "Every experiment reproduces one claim of *conf_podc_ChenJZ21*\n"
+     << "(Chen–Jiang–Zheng, PODC'21: contention resolution on a multiple-access\n"
+     << "channel with adaptive jamming and no collision detection). All of them\n"
+     << "are subcommands of the single `cr` tool:\n"
+     << "\n"
+     << "```sh\n"
+     << "cr list                      # what exists (this document: cr list --md)\n"
+     << "cr bench latency --quick     # one experiment\n"
+     << "cr suite run suites/quick.json   # a manifest-driven grid of cells\n"
+     << "```\n"
+     << "\n"
+     << "The legacy `bench_<name>` binaries still build as thin wrappers over\n"
+     << "the same registry entries (see the migration table in README.md).\n"
+     << "\n"
+     << "## Uniform driver flags\n"
+     << "\n"
+     << "Every bench shares the `BenchDriver` contract\n"
+     << "(`src/exp/bench_driver.hpp`):\n"
+     << "\n"
+     << "| Flag | Meaning |\n"
+     << "| --- | --- |\n";
+  for (const BenchFlag& flag : BenchDriver::standard_flags())
+    os << "| `--" << flag.name << "` | " << md_cell(flag.help) << " |\n";
+  os << "\n"
+     << "Unknown or misspelled flags are rejected with a did-you-mean message\n"
+     << "(exit 2). `--threads` never changes results: replication seeds are\n"
+     << "independent by construction (splitmix64-seeded xoshiro256\\*\\* streams),\n"
+     << "so fanning seeds across a worker pool is bit-identical to a serial run\n"
+     << "for every thread count (`tests/test_scenarios.cpp`, `ParallelReplicate.*`).\n"
+     << "\n"
+     << "## Registries\n"
+     << "\n"
+     << "Engine and workload selection go through the registries\n"
+     << "(`EngineRegistry` in `src/engine/engine.hpp`, `ScenarioRegistry` in\n"
+     << "`src/exp/scenarios.hpp`, `BenchRegistry` in `src/cli/bench_registry.hpp`):\n"
+     << "a bench describes *what* runs (a `ProtocolSpec`) and the registry picks\n"
+     << "the fastest engine that can execute it (`generic` — per-node reference;\n"
+     << "`fast_cjz`, `fast_batch` — cohort engines validated against it in\n"
+     << "`tests/test_cross_engine.cpp`).\n"
+     << "\n"
+     << "## Recording tiers\n"
+     << "\n"
+     << "`SimConfig::recording` selects how much observability a run pays for\n"
+     << "(`RecordingConfig` in `src/engine/sim_result.hpp`). Tiers are cumulative,\n"
+     << "every engine honours every tier, and the simulated trajectory is\n"
+     << "**bit-identical across tiers** (attribution draws on a dedicated RNG\n"
+     << "stream; asserted by the fuzz sweep in `tests/test_cross_engine.cpp`):\n"
+     << "\n"
+     << "| Tier | Extra per-slot cost | Unlocks |\n"
+     << "| --- | --- | --- |\n"
+     << "| `kNone` (default) | — | aggregate counters in `SimResult` |\n"
+     << "| `kSuccessTimes` | O(1) per success | `success_times`, `successes_in_window()` |\n"
+     << "| `kNodeStats` | O(#sends) attribution + one row per node | `node_stats`, "
+        "`latency_report()`, `energy_report()` |\n"
+     << "| `kFullTrace` | O(1) copy per slot | `SimResult::slot_outcomes` |\n"
+     << "\n"
+     << "The fast engines attribute each cohort's binomial sender count to a\n"
+     << "uniformly sampled member subset — exactly the conditional law of \"who\n"
+     << "sent\" given the count — so energy/latency metrics do not require the\n"
+     << "generic engine. For metrics over time without any recording tier,\n"
+     << "attach the streaming `WindowedMetrics` observer\n"
+     << "(`src/metrics/windowed.hpp`; combine observers with `ObserverChain`).\n"
+     << "\n"
+     << "## Index\n"
+     << "\n"
+     << "| E | Subcommand | Paper claim / section | Extra flags | Expected qualitative "
+        "outcome |\n"
+     << "| --- | --- | --- | --- | --- |\n";
+  for (const BenchSpec& spec : BenchRegistry::instance().entries())
+    os << "| " << spec.id << " | `cr bench " << spec.name << "` | " << md_cell(spec.claim)
+       << " | " << flag_list(spec) << " | " << md_cell(spec.outcome) << " |\n";
+  os << "| E11 | `bench_engine` (standalone) | — (engine performance) | google-benchmark args "
+        "| slots/second of each engine + hot RNG paths; built only when google-benchmark is "
+        "installed |\n"
+     << "\n"
+     << "E11 is the one non-`cr` experiment: a google-benchmark microbenchmark\n"
+     << "with its own runner, built only when the library is present.\n"
+     << "\n"
+     << "## Bench reference\n";
+  for (const BenchSpec& spec : BenchRegistry::instance().entries()) {
+    os << "\n### `cr bench " << spec.name << "` (" << spec.id << ")\n"
+       << "\n"
+       << md_cell(spec.summary) << ". Claim: " << md_cell(spec.claim) << ".\n";
+    if (!spec.flags.empty()) {
+      os << "\n";
+      for (const BenchFlag& flag : spec.flags)
+        os << "- `--" << flag.name << "` — " << md_cell(flag.help) << "\n";
+    }
+    os << "\nCSV (`--csv`): " << column_list(spec) << ".\n"
+       << "One row = " << md_cell(spec.csv_row_desc) << ".\n";
+  }
+  os << "\n## Named scenarios\n"
+     << "\n"
+     << "`ScenarioRegistry` entries (parameterised by `ScenarioParams`; run any\n"
+     << "of them directly with `cr bench scenario --scenario=<name>`):\n"
+     << "\n"
+     << "| Name | Workload |\n"
+     << "| --- | --- |\n";
+  for (const ScenarioEntry& entry : ScenarioRegistry::instance().entries())
+    os << "| `" << entry.name << "` | " << md_cell(entry.description) << " |\n";
+  os << "\n## Engines\n"
+     << "\n";
+  for (const std::string& name : EngineRegistry::instance().names())
+    os << "- `" << name << "`\n";
+  os << "\nBenches select engines via `EngineRegistry::preferred(spec)`; the\n"
+     << "`scenario` bench exposes the choice as `--engine`.\n"
+     << "\n"
+     << "## Suites\n"
+     << "\n"
+     << "`cr suite run <manifest.json>` expands a manifest's grid of\n"
+     << "(bench × params × seeds) cells, runs each cell `--quiet` with a\n"
+     << "per-cell CSV under the suite's output directory, and writes a run\n"
+     << "manifest (git SHA, config hash, wall-clock, per-cell status) next to\n"
+     << "them. Properties guaranteed by `tests/test_suite.cpp`:\n"
+     << "\n"
+     << "- `--shard i/n` partitions cells deterministically (expansion index\n"
+     << "  mod n); the shards are disjoint, cover everything, and together\n"
+     << "  produce byte-identical CSVs to an unsharded run;\n"
+     << "- rerunning skips cells whose CSV already exists (resume after an\n"
+     << "  interrupt; `--force` reruns), again bit-identically;\n"
+     << "- `cr suite expand` prints the cell plan without running anything.\n"
+     << "\n"
+     << "Checked-in manifests: `suites/paper_repro.json` (every table above),\n"
+     << "`suites/quick.json` (CI-sized smoke grid; the `suite`-labelled CTest\n"
+     << "entries run it).\n"
+     << "\n"
+     << "## Smoke tests\n"
+     << "\n"
+     << "Each bench is registered with CTest as `smoke_bench_*` running\n"
+     << "`cr bench <name> --quick --reps=2 --threads=2`, so a bench that\n"
+     << "crashes or regresses structurally fails the tier-1 suite\n"
+     << "(`ctest -L bench_smoke` runs just these).\n"
+     << "\n"
+     << "## Golden regressions\n"
+     << "\n"
+     << "`golden_bench_latency` (label `golden`) byte-compares the latency\n"
+     << "bench's `--quick` CSV against `tests/golden/bench_latency_quick.csv`.\n"
+     << "The file contains only means of integer-valued samples at fixed seeds\n"
+     << "(exact IEEE arithmetic, thread-count independent), so on the CI\n"
+     << "platform any diff is a real behaviour change in the engines, scenarios\n"
+     << "or metrics. The simulation does route through libm (`f`/`g` pacing,\n"
+     << "binomial sampling), so a different libm implementation (macOS, a major\n"
+     << "glibc bump) can legitimately shift the integers — regenerate on the\n"
+     << "Linux CI platform:\n"
+     << "\n"
+     << "```sh\n"
+     << "./build/src/cr bench latency --quick --reps=2 --threads=2 \\\n"
+     << "    --csv=tests/golden/bench_latency_quick.csv\n"
+     << "```\n"
+     << "\n"
+     << "`docs_experiments_md` (label `docs`) is the second golden test: it\n"
+     << "diffs this very file against `cr list --md`.\n";
+  return os.str();
+}
+
+}  // namespace cr

@@ -1,0 +1,19 @@
+/// \file
+/// Self-documenting pipeline: docs/EXPERIMENTS.md is the verbatim output of
+/// `cr list --md`, generated from the three registries (benches, scenarios,
+/// engines). The `docs`-labelled CTest entry byte-diffs the committed file
+/// against this output, so the experiment tables can never drift from the
+/// code the way hand-maintained copies used to.
+#pragma once
+
+#include <string>
+
+namespace cr {
+
+/// Compact plain-text listing for `cr list`: benches, scenarios, engines.
+std::string registry_listing_text();
+
+/// The complete docs/EXPERIMENTS.md content for `cr list --md`.
+std::string experiments_markdown();
+
+}  // namespace cr

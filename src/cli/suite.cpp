@@ -1,0 +1,570 @@
+#include "cli/suite.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "cli/bench_registry.hpp"
+#include "common/table.hpp"
+
+namespace cr {
+
+namespace {
+
+/// Flags the runner itself controls; a manifest naming one is a mistake.
+/// --quick is reserved too: it is a run option (`cr suite run --quick`) and
+/// the stale-resume guard tracks it, so a per-cell override would record
+/// wrong provenance.
+const std::set<std::string>& reserved_flags() {
+  static const std::set<std::string> reserved = {"seed",    "csv",  "quiet",
+                                                 "threads", "help", "quick"};
+  return reserved;
+}
+
+bool is_standard_flag(const std::string& name) {
+  for (const BenchFlag& flag : BenchDriver::standard_flags())
+    if (flag.name == name) return true;
+  return false;
+}
+
+bool bench_declares(const BenchSpec& spec, const std::string& name) {
+  for (const BenchFlag& flag : spec.flags)
+    if (flag.name == name) return true;
+  return false;
+}
+
+/// A flag a manifest may set on `bench`: declared by it, or a standard flag
+/// that is not runner-reserved.
+bool flag_allowed(const BenchSpec& spec, const std::string& name) {
+  if (reserved_flags().count(name)) return false;
+  return bench_declares(spec, name) || is_standard_flag(name);
+}
+
+/// Manifest scalars become flag text: numbers keep their raw source bytes,
+/// strings their decoded text, booleans "true"/"false".
+bool scalar_flag_text(const JsonValue& value, std::string* out) {
+  if (value.is_number() || value.is_string()) {
+    *out = value.scalar_text();
+    return true;
+  }
+  if (value.is_bool()) {
+    *out = value.as_bool() ? "true" : "false";
+    return true;
+  }
+  return false;
+}
+
+/// Strict decimal seed parse: digits only, capped at INT64_MAX — the seed
+/// travels through Cli::get_int (strtoll) in the bench, so anything larger
+/// would pass validation here only to abort at run time.
+bool parse_seed(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  std::uint64_t value = 0;
+  const std::uint64_t max = static_cast<std::uint64_t>(INT64_MAX);
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (max - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+std::string sanitize_for_path(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// SHA of the repository CONTAINING THE MANIFEST (not the process CWD —
+/// `cr` may be invoked from anywhere, and the manifest's repo is the one
+/// whose state the provenance record is about). "unknown" outside a repo
+/// or when the suite was not loaded from a file.
+std::string git_sha(const std::string& manifest_dir) {
+  if (manifest_dir.empty()) return "unknown";
+  // Shell-quote the directory: close the single-quoted span, emit an
+  // escaped quote, reopen ('\'' idiom).
+  std::string quoted = "'";
+  for (const char c : manifest_dir)
+    if (c == '\'')
+      quoted += "'\\''";
+    else
+      quoted += c;
+  quoted += "'";
+  std::string out;
+  const std::string cmd = "git -C " + quoted + " rev-parse --short HEAD 2>/dev/null";
+  if (FILE* pipe = ::popen(cmd.c_str(), "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) out = buf;
+    ::pclose(pipe);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+/// Execute one cell in a forked child so a bench that exits or aborts
+/// (bad flag value hitting CR_CHECK, std::exit in a driver, a crash)
+/// becomes a "failed" status for THAT cell instead of killing the whole
+/// suite run. Cells run sequentially, so no other threads are live at fork
+/// time. Returns the cell's exit code (128+signal on abnormal death,
+/// 126 when fork itself fails).
+int run_cell_isolated(const std::string& bench, const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  // fork failure (EAGAIN/ENOMEM under CI pressure): report the CELL as
+  // failed rather than falling back to an in-process run, where a bench
+  // abort would kill the whole suite — the exact failure mode this
+  // function exists to contain.
+  if (pid < 0) return 126;
+  if (pid == 0) {
+    const int rc = BenchRegistry::instance().run(bench, args);
+    // _Exit: the CSV ofstream is already closed inside the bench, and the
+    // child must not flush stdio buffers it inherited from the parent.
+    std::_Exit(rc);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return WIFSIGNALED(status) ? 128 + WTERMSIG(status) : 1;
+}
+
+std::string utc_now() {
+  const std::time_t now = std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+SuiteLoadResult parse_suite(const JsonValue& root, const std::string& source) {
+  SuiteLoadResult out;
+  auto fail = [&](const std::string& msg) {
+    out.error = source + ": " + msg;
+    return out;
+  };
+  if (!root.is_object()) return fail("manifest must be a JSON object");
+
+  const JsonValue* name = root.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty())
+    return fail("\"name\" (non-empty string) is required");
+  out.spec.name = name->as_string();
+
+  if (const JsonValue* desc = root.find("description")) {
+    if (!desc->is_string()) return fail("\"description\" must be a string");
+    out.spec.description = desc->as_string();
+  }
+  if (const JsonValue* dir = root.find("output_dir")) {
+    if (!dir->is_string()) return fail("\"output_dir\" must be a string");
+    out.spec.output_dir = dir->as_string();
+  }
+  if (out.spec.output_dir.empty()) out.spec.output_dir = "out/" + out.spec.name;
+
+  const BenchRegistry& registry = BenchRegistry::instance();
+
+  if (const JsonValue* defaults = root.find("defaults")) {
+    if (!defaults->is_object()) return fail("\"defaults\" must be an object");
+    for (const auto& [key, value] : defaults->members()) {
+      if (reserved_flags().count(key))
+        return fail("defaults: --" + key + " is controlled by the suite runner");
+      std::string text;
+      if (!scalar_flag_text(*value, &text))
+        return fail("defaults: \"" + key + "\" must be a scalar");
+      out.spec.defaults.emplace_back(key, std::move(text));
+    }
+  }
+
+  const JsonValue* cells = root.find("cells");
+  if (cells == nullptr || !cells->is_array() || cells->items().empty())
+    return fail("\"cells\" (non-empty array) is required");
+  for (const auto& item : cells->items()) {
+    if (!item->is_object()) return fail("cells: every entry must be an object");
+    SuiteSpec::Block block;
+    const JsonValue* bench = item->find("bench");
+    if (bench == nullptr || !bench->is_string())
+      return fail("cells: \"bench\" (string) is required in every entry");
+    block.bench = bench->as_string();
+    const BenchSpec* bench_spec = registry.find(block.bench);
+    if (bench_spec == nullptr) {
+      std::string known;
+      for (const auto& n : registry.names()) known += " " + n;
+      return fail("unknown bench \"" + block.bench + "\"; known benches:" + known);
+    }
+    if (const JsonValue* grid = item->find("grid")) {
+      if (!grid->is_object()) return fail(block.bench + ": \"grid\" must be an object");
+      for (const auto& [axis, values] : grid->members()) {
+        if (!flag_allowed(*bench_spec, axis))
+          return fail(block.bench + ": grid axis \"" + axis +
+                      "\" is not a flag of this bench (seeds have their own \"seeds\" key; "
+                      "--seed/--csv/--quiet/--threads/--quick are runner-controlled)");
+        std::vector<std::string> texts;
+        if (values->is_array()) {
+          if (values->items().empty())
+            return fail(block.bench + ": grid axis \"" + axis + "\" must not be empty");
+          for (const auto& v : values->items()) {
+            std::string text;
+            if (!scalar_flag_text(*v, &text))
+              return fail(block.bench + ": grid axis \"" + axis + "\" has a non-scalar value");
+            texts.push_back(std::move(text));
+          }
+        } else {
+          std::string text;
+          if (!scalar_flag_text(*values, &text))
+            return fail(block.bench + ": grid axis \"" + axis + "\" has a non-scalar value");
+          texts.push_back(std::move(text));
+        }
+        block.grid.emplace_back(axis, std::move(texts));
+      }
+    }
+    if (const JsonValue* seeds = item->find("seeds")) {
+      if (!seeds->is_array() || seeds->items().empty())
+        return fail(block.bench + ": \"seeds\" must be a non-empty array of integers");
+      for (const auto& s : seeds->items()) {
+        // Parse the RAW literal so 1.9 (fractional), -1, and values the
+        // bench-side --seed parse could not hold are rejected here instead
+        // of truncating through double or failing the cell at run time.
+        std::uint64_t seed = 0;
+        if (!s->is_number() || !parse_seed(s->raw_number(), &seed))
+          return fail(block.bench + ": \"seeds\" must contain integers in [0, 2^63), got " +
+                      (s->is_number() ? s->raw_number() : "a non-number"));
+        block.seeds.push_back(seed);
+      }
+    }
+    // No "seeds" key: the block runs at the bench's own canonical base
+    // seeds (no --seed is passed), reproducing the default tables exactly.
+    out.spec.blocks.push_back(std::move(block));
+  }
+
+  // Every suite-wide default must mean something somewhere, or it is a typo.
+  for (const auto& [key, value] : out.spec.defaults) {
+    bool used = is_standard_flag(key);
+    for (const auto& block : out.spec.blocks)
+      used = used || bench_declares(*registry.find(block.bench), key);
+    if (!used) return fail("defaults: \"" + key + "\" is not a flag of any bench in this suite");
+  }
+
+  // Expansion must be collision-free: two cells with one CSV path would
+  // silently halve the intended coverage. Distinguish true duplicates from
+  // distinct cells whose values merely sanitize to the same id, so the
+  // error points at the actual problem.
+  std::map<std::string, std::string> seen;  // id -> canonical cell text
+  for (const SuiteCell& cell : expand_suite(out.spec)) {
+    std::string canonical = cell.bench;
+    for (const auto& [key, value] : cell.flags) canonical += "\x1f" + key + "=" + value;
+    canonical += "\x1f" + (cell.has_seed ? std::to_string(cell.seed) : "default");
+    const auto [it, inserted] = seen.emplace(cell.id, canonical);
+    if (!inserted)
+      return fail(it->second == canonical
+                      ? "duplicate cell \"" + cell.id +
+                            "\" — two blocks expand to the same (bench, params, seed)"
+                      : "cell id collision: two DIFFERENT cells sanitize to \"" + cell.id +
+                            "\" (values differing only in non-[A-Za-z0-9._-] characters); "
+                            "rename the values to differ in filesystem-safe characters");
+  }
+  return out;
+}
+
+SuiteLoadResult load_suite(const std::string& path) {
+  const JsonParseResult parsed = JsonValue::parse_file(path);
+  if (!parsed.ok()) {
+    SuiteLoadResult out;
+    out.error = parsed.error;
+    return out;
+  }
+  SuiteLoadResult out = parse_suite(*parsed.value, path);
+  if (out.ok()) {
+    const std::string dir = std::filesystem::path(path).parent_path().string();
+    out.spec.source_dir = dir.empty() ? "." : dir;  // bare filename = CWD
+  }
+  return out;
+}
+
+std::vector<SuiteCell> expand_suite(const SuiteSpec& spec) {
+  const BenchRegistry& registry = BenchRegistry::instance();
+  std::vector<SuiteCell> cells;
+  for (const auto& block : spec.blocks) {
+    const BenchSpec& bench_spec = registry.at(block.bench);
+    // Suite-wide defaults apply where they mean something for this bench.
+    std::vector<std::pair<std::string, std::string>> base;
+    for (const auto& def : spec.defaults)
+      if (flag_allowed(bench_spec, def.first)) base.push_back(def);
+
+    // Row-major over the axes as written (rightmost fastest), like nested
+    // loops in the manifest's own order.
+    std::vector<std::size_t> cursor(block.grid.size(), 0);
+    while (true) {
+      std::vector<std::pair<std::string, std::string>> flags = base;
+      std::string id = sanitize_for_path(block.bench);
+      for (std::size_t a = 0; a < block.grid.size(); ++a) {
+        const auto& [axis, values] = block.grid[a];
+        flags.emplace_back(axis, values[cursor[a]]);
+        id += "__" + sanitize_for_path(axis) + "-" + sanitize_for_path(values[cursor[a]]);
+      }
+      const auto emit = [&](bool has_seed, std::uint64_t seed) {
+        SuiteCell cell;
+        cell.index = cells.size();
+        cell.bench = block.bench;
+        cell.flags = flags;
+        cell.has_seed = has_seed;
+        cell.seed = seed;
+        cell.id = id + "__seed-" + (has_seed ? std::to_string(seed) : "default");
+        cells.push_back(std::move(cell));
+      };
+      if (block.seeds.empty())
+        emit(false, 0);
+      else
+        for (const std::uint64_t seed : block.seeds) emit(true, seed);
+      // Advance the rightmost axis; carry leftwards; done when all wrap.
+      bool wrapped = true;
+      for (std::size_t a = block.grid.size(); a-- > 0;) {
+        if (++cursor[a] < block.grid[a].second.size()) {
+          wrapped = false;
+          break;
+        }
+        cursor[a] = 0;
+      }
+      if (wrapped) break;
+    }
+  }
+  return cells;
+}
+
+bool parse_shard(const std::string& text, ShardSpec* out) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) return false;
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (i != slash && (text[i] < '0' || text[i] > '9')) return false;
+  // Bound the digit count before converting so absurd inputs (including
+  // anything that would overflow long long or truncate in the int cast)
+  // are rejected instead of silently running the wrong cell subset.
+  if (slash > 9 || text.size() - slash - 1 > 9) return false;
+  const long index = std::strtol(text.substr(0, slash).c_str(), nullptr, 10);
+  const long count = std::strtol(text.substr(slash + 1).c_str(), nullptr, 10);
+  if (index < 1 || count < 1 || index > count) return false;
+  out->index = static_cast<int>(index);
+  out->count = static_cast<int>(count);
+  return true;
+}
+
+bool cell_in_shard(std::size_t cell_index, const ShardSpec& shard) {
+  return cell_index % static_cast<std::size_t>(shard.count) ==
+         static_cast<std::size_t>(shard.index - 1);
+}
+
+std::string suite_config_hash(const std::vector<SuiteCell>& cells) {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&hash](const std::string& text) {
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;  // FNV-1a prime
+    }
+    hash ^= 0xFFu;  // field separator
+    hash *= 1099511628211ull;
+  };
+  for (const SuiteCell& cell : cells) {
+    mix(cell.bench);
+    for (const auto& [key, value] : cell.flags) {
+      mix(key);
+      mix(value);
+    }
+    mix(cell.has_seed ? std::to_string(cell.seed) : "default");
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+int run_suite(const SuiteSpec& spec, const SuiteRunOptions& opts, std::ostream& log) {
+  namespace fs = std::filesystem;
+  const std::vector<SuiteCell> cells = expand_suite(spec);
+  const std::string outdir = opts.output_dir.empty() ? spec.output_dir : opts.output_dir;
+  const std::string config_hash = suite_config_hash(cells);
+
+  log << "suite " << spec.name << ": " << cells.size() << " cells";
+  if (opts.shard.count > 1)
+    log << " (shard " << opts.shard.index << "/" << opts.shard.count << ")";
+  log << " -> " << outdir << "  [config " << config_hash << "]\n";
+
+  struct CellOutcome {
+    const SuiteCell* cell;
+    std::string status;  ///< "pending" | "ok" | "cached" | "failed" | "shard" | "planned"
+    double seconds = 0.0;
+  };
+  std::vector<CellOutcome> outcomes;
+  outcomes.reserve(cells.size());
+  for (const SuiteCell& cell : cells)
+    outcomes.push_back(
+        {&cell, cell_in_shard(cell.index, opts.shard) ? "pending" : "shard", 0.0});
+
+  std::string manifest_path = outdir + "/manifest.json";
+  if (opts.shard.count > 1)
+    manifest_path = outdir + "/manifest." + std::to_string(opts.shard.index) + "of" +
+                    std::to_string(opts.shard.count) + ".json";
+  const std::string started = utc_now();
+  // Run manifest: provenance for the CSVs sitting next to it. Written once
+  // up front (all in-shard cells "pending") so even a killed run leaves a
+  // record of what configuration produced the outputs, and rewritten with
+  // final statuses at the end. Sharded runs write distinct manifests (the
+  // CSV set is the part that must be bit-identical to an unsharded run;
+  // manifests record each shard's view).
+  const auto write_manifest = [&](double wall) {
+    std::ofstream manifest(manifest_path);
+    manifest << "{\n"
+             << "  \"suite\": \"" << json_escape(spec.name) << "\",\n"
+             << "  \"description\": \"" << json_escape(spec.description) << "\",\n"
+             << "  \"git_sha\": \"" << json_escape(git_sha(spec.source_dir)) << "\",\n"
+             << "  \"config_hash\": \"" << config_hash << "\",\n"
+             << "  \"shard\": \"" << opts.shard.index << "/" << opts.shard.count << "\",\n"
+             << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n"
+             << "  \"started_utc\": \"" << started << "\",\n"
+             << "  \"finished_utc\": \"" << utc_now() << "\",\n"
+             << "  \"wall_seconds\": " << format_double(wall, 3) << ",\n"
+             << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const CellOutcome& outcome = outcomes[i];
+      manifest << "    {\"id\": \"" << json_escape(outcome.cell->id) << "\", \"bench\": \""
+               << json_escape(outcome.cell->bench) << "\", \"seed\": "
+               << (outcome.cell->has_seed ? std::to_string(outcome.cell->seed) : "null")
+               << ", \"status\": \"" << outcome.status << "\", \"seconds\": "
+               << format_double(outcome.seconds, 3) << "}"
+               << (i + 1 < outcomes.size() ? "," : "") << "\n";
+    }
+    manifest << "  ]\n}\n";
+  };
+
+  if (!opts.dry_run) {
+    fs::create_directories(outdir);
+    // Stale-output guard: any manifest already in outdir must describe the
+    // same expansion (config_hash) and the same --quick mode. Otherwise the
+    // CSVs sitting there came from a DIFFERENT configuration — resuming
+    // over them would silently mix old and new results (and restamp the
+    // new config_hash over the old data). --force reruns every cell, so it
+    // may proceed regardless.
+    if (!opts.force) {
+      for (const auto& entry : fs::directory_iterator(outdir)) {
+        const std::string fname = entry.path().filename().string();
+        if (fname.rfind("manifest", 0) != 0 || entry.path().extension() != ".json") continue;
+        const JsonParseResult prior = JsonValue::parse_file(entry.path().string());
+        if (!prior.ok() || !prior.value->is_object()) continue;
+        const JsonValue* hash = prior.value->find("config_hash");
+        const JsonValue* quick = prior.value->find("quick");
+        const bool same_hash = hash != nullptr && hash->is_string() &&
+                               hash->as_string() == config_hash;
+        const bool same_quick = quick != nullptr && quick->is_bool() &&
+                                quick->as_bool() == opts.quick;
+        if (!same_hash || !same_quick) {
+          log << "suite " << spec.name << ": " << outdir << "/" << fname
+              << " records a different configuration"
+              << (same_hash ? " (--quick mode differs)" : " (config hash differs)")
+              << " — refusing to resume over stale outputs; rerun with --force or a fresh "
+                 "--out\n";
+          return 1;
+        }
+      }
+    }
+    write_manifest(0.0);
+  }
+  const auto suite_t0 = std::chrono::steady_clock::now();
+  int failures = 0;
+  std::size_t ran = 0, cached = 0;
+
+  for (const SuiteCell& cell : cells) {
+    CellOutcome& outcome = outcomes[cell.index];
+    const std::string csv_path = outdir + "/" + cell.id + ".csv";
+    if (cell_in_shard(cell.index, opts.shard)) {
+      std::vector<std::string> args;
+      for (const auto& [key, value] : cell.flags) args.push_back("--" + key + "=" + value);
+      if (cell.has_seed) args.push_back("--seed=" + std::to_string(cell.seed));
+      if (opts.quick) args.push_back("--quick");
+      if (opts.threads > 0) args.push_back("--threads=" + std::to_string(opts.threads));
+      args.push_back("--quiet");
+
+      if (opts.dry_run) {
+        outcome.status = "planned";
+        log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id << ": "
+            << cell.bench;
+        for (const std::string& arg : args) log << " " << arg;
+        log << " --csv=" << csv_path << "\n";
+      } else if (!opts.force && fs::exists(csv_path)) {
+        outcome.status = "cached";
+        ++cached;
+        log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id
+            << ": cached\n";
+      } else {
+        // Write to a temp path and rename on success so a killed run never
+        // leaves a partial CSV for resume to mistake for a finished cell.
+        const std::string tmp_path = csv_path + ".tmp";
+        args.push_back("--csv=" + tmp_path);
+        const auto t0 = std::chrono::steady_clock::now();
+        const int rc = run_cell_isolated(cell.bench, args);
+        outcome.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        if (rc == 0 && fs::exists(tmp_path)) {
+          fs::rename(tmp_path, csv_path);
+          outcome.status = "ok";
+          ++ran;
+        } else {
+          std::error_code ec;
+          fs::remove(tmp_path, ec);
+          outcome.status = "failed";
+          ++failures;
+        }
+        log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id << ": "
+            << outcome.status << " (" << format_double(outcome.seconds, 2) << "s" << ")\n";
+      }
+    }
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - suite_t0).count();
+  if (opts.dry_run) {
+    log << "dry run: nothing executed\n";
+    return 0;
+  }
+  write_manifest(wall);
+
+  log << "suite " << spec.name << ": " << ran << " ran, " << cached << " cached, " << failures
+      << " failed in " << format_double(wall, 2) << "s" << "; manifest " << manifest_path << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace cr

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/csv.hpp"
 
 namespace cr {
 
@@ -81,6 +82,13 @@ std::string Table::to_string() const {
   std::ostringstream os;
   print(os);
   return os.str();
+}
+
+void write_table_csv(const Table& table, const std::vector<std::string>& columns,
+                     std::ostream& os) {
+  CR_CHECK(columns.size() == table.cols());
+  CsvWriter csv(os, columns);
+  for (const auto& row : table.row_text()) csv.row(row);
 }
 
 }  // namespace cr

@@ -1,15 +1,16 @@
-// Send attribution for the cohort engines.
-//
-// A cohort slot draws its transmitter COUNT c ~ Binomial(m, p) on the main
-// RNG stream; when the kNodeStats recording tier asks "which members sent?",
-// the exact conditional law given the count is the uniform distribution over
-// c-subsets of the m members (exchangeability of i.i.d. p-coins). This
-// header samples such a subset from a DEDICATED attribution RNG stream, so
-// turning recording on or off never perturbs the simulated trajectory.
-//
-// Cost is O(c) expected (amortised O(total sends) per run): sparse subsets
-// use rejection sampling against a hash set, dense ones a partial
-// Fisher–Yates over an index scratch vector.
+/// \file
+/// Send attribution for the cohort engines.
+///
+/// A cohort slot draws its transmitter COUNT c ~ Binomial(m, p) on the main
+/// RNG stream; when the kNodeStats recording tier asks "which members sent?",
+/// the exact conditional law given the count is the uniform distribution over
+/// c-subsets of the m members (exchangeability of i.i.d. p-coins). This
+/// header samples such a subset from a DEDICATED attribution RNG stream, so
+/// turning recording on or off never perturbs the simulated trajectory.
+///
+/// Cost is O(c) expected (amortised O(total sends) per run): sparse subsets
+/// use rejection sampling against a hash set, dense ones a partial
+/// Fisher–Yates over an index scratch vector.
 #pragma once
 
 #include <cstdint>

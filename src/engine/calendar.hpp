@@ -1,13 +1,14 @@
-// Calendar queue for the fast engines.
-//
-// A min-heap of (slot, kind) events carrying a node index and a generation
-// counter. Stale events (the node transitioned or departed since
-// scheduling) are filtered by the consumer via the generation check —
-// cheaper than removing from the middle of a heap.
-//
-// Kind ordering matters: all kStageBegin events of a slot are delivered
-// before any kSend event of the same slot, because beginning a backoff
-// stage may schedule a send in that very slot (offset 0).
+/// \file
+/// Calendar queue for the fast engines.
+///
+/// A min-heap of (slot, kind) events carrying a node index and a generation
+/// counter. Stale events (the node transitioned or departed since
+/// scheduling) are filtered by the consumer via the generation check —
+/// cheaper than removing from the middle of a heap.
+///
+/// Kind ordering matters: all kStageBegin events of a slot are delivered
+/// before any kSend event of the same slot, because beginning a backoff
+/// stage may schedule a send in that very slot (offset 0).
 #pragma once
 
 #include <cstdint>
@@ -20,16 +21,19 @@
 namespace cr {
 
 struct CalendarEvent {
+  /// kStageBegin sorts before kSend within a slot (see file comment).
   enum class Kind : std::uint8_t { kStageBegin = 0, kSend = 1 };
 
-  slot_t slot = 0;
+  slot_t slot = 0;          ///< absolute slot the event fires in
   Kind kind = Kind::kSend;
-  std::uint32_t node = 0;
-  std::uint32_t gen = 0;
+  std::uint32_t node = 0;   ///< owning node's dense index in the engine
+  std::uint32_t gen = 0;    ///< owner's generation at scheduling time (staleness check)
 };
 
+/// Min-heap of calendar events keyed by (slot, kind).
 class Calendar {
  public:
+  /// Schedule an event (no dedup; consumers filter stale generations).
   void push(const CalendarEvent& ev) { heap_.push(ev); }
 
   /// Pop the next event scheduled at or before `slot` (stage-begins first

@@ -1,19 +1,20 @@
-// Unified engine layer: every simulator behind one polymorphic interface.
-//
-// A ProtocolSpec describes WHAT runs on the channel (the CJZ algorithm, a
-// probability-profile protocol, or an arbitrary ProtocolFactory); an Engine
-// is a strategy for HOW to execute it (reference per-node simulation or one
-// of the cohort-based fast engines). Engines self-describe which specs they
-// can execute, so callers select one through the EngineRegistry instead of
-// hard-coding dispatch:
-//
-//     ProtocolSpec spec = cjz_protocol(functions_constant_g(4.0));
-//     SimResult res = EngineRegistry::instance().preferred(spec)
-//                         .run(spec, adversary, config);
-//
-// Cross-engine validation enumerates the registry: for each engine with
-// supports(spec), run the same scenario and compare statistics (see
-// tests/test_cross_engine.cpp).
+/// \file
+/// Unified engine layer: every simulator behind one polymorphic interface.
+///
+/// A ProtocolSpec describes WHAT runs on the channel (the CJZ algorithm, a
+/// probability-profile protocol, or an arbitrary ProtocolFactory); an Engine
+/// is a strategy for HOW to execute it (reference per-node simulation or one
+/// of the cohort-based fast engines). Engines self-describe which specs they
+/// can execute, so callers select one through the EngineRegistry instead of
+/// hard-coding dispatch:
+///
+///     ProtocolSpec spec = cjz_protocol(functions_constant_g(4.0));
+///     SimResult res = EngineRegistry::instance().preferred(spec)
+///                         .run(spec, adversary, config);
+///
+/// Cross-engine validation enumerates the registry: for each engine with
+/// supports(spec), run the same scenario and compare statistics (see
+/// tests/test_cross_engine.cpp).
 #pragma once
 
 #include <functional>

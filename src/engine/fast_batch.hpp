@@ -1,18 +1,19 @@
-// Fast simulator for probability-profile protocols (h-batch and friends).
-//
-// Nodes sharing an arrival slot are exchangeable under a SendProfile — the
-// sending probability depends only on age — so each arrival slot becomes a
-// cohort and the per-slot sender count is one Binomial draw per cohort.
-//
-// Best suited to batch workloads (one or few arrival slots); with one cohort
-// per slot of a long arrival stream the per-slot cost degrades to O(live
-// cohorts), which is still far below the generic engine's O(live nodes).
-//
-// Under RecordingTier::kNodeStats each cohort materialises per-member send
-// counters and every binomial count is attributed to a uniformly sampled
-// member subset (the exact conditional law) drawn from a dedicated
-// attribution RNG stream — latency and energy reports work here, and the
-// trajectory is bit-identical across recording tiers.
+/// \file
+/// Fast simulator for probability-profile protocols (h-batch and friends).
+///
+/// Nodes sharing an arrival slot are exchangeable under a SendProfile — the
+/// sending probability depends only on age — so each arrival slot becomes a
+/// cohort and the per-slot sender count is one Binomial draw per cohort.
+///
+/// Best suited to batch workloads (one or few arrival slots); with one cohort
+/// per slot of a long arrival stream the per-slot cost degrades to O(live
+/// cohorts), which is still far below the generic engine's O(live nodes).
+///
+/// Under RecordingTier::kNodeStats each cohort materialises per-member send
+/// counters and every binomial count is attributed to a uniformly sampled
+/// member subset (the exact conditional law) drawn from a dedicated
+/// attribution RNG stream — latency and energy reports work here, and the
+/// trajectory is bit-identical across recording tiers.
 #pragma once
 
 #include <cstdint>
@@ -26,14 +27,20 @@
 
 namespace cr {
 
+/// Cohort-per-arrival-slot engine for probability-profile protocols.
+/// One instance per run.
 class FastBatchSimulator {
  public:
+  /// `adversary` must outlive run(); `profile` gives the per-age law.
   FastBatchSimulator(SendProfile profile, Adversary& adversary, SimConfig config);
 
+  /// Optional per-slot metrics hook (not owned).
   void set_observer(SlotObserver* observer) { observer_ = observer; }
 
+  /// Execute the run described by the constructor arguments.
   SimResult run();
 
+  /// Ground-truth trace of the last run (valid after run()).
   const Trace& trace() const { return trace_; }
 
  private:

@@ -1,28 +1,29 @@
-// Fast simulator for the CJZ algorithm.
-//
-// Exploits two structural facts about the algorithm:
-//
-//   1. Every node in Phase 3 restarted at some success slot l₃, and every
-//      success slot merges all Phase-3 populations whose control channel has
-//      that slot's parity (plus the Phase-2 nodes waiting on it) into ONE
-//      synchronized cohort. Members of a cohort are exchangeable: the number
-//      of transmitters per slot is Binomial(m, p(slot, l₃)), one draw per
-//      cohort per slot instead of m Bernoulli draws.
-//
-//   2. Phase-1/2 backoff transmissions are sparse — h(2^k) per stage of
-//      length 2^k — so they live in a calendar queue; a slot's backoff
-//      senders are read off the queue in O(log) time.
-//
-// Net cost: O(#cohorts + #due events) per slot, which lets the benches run
-// t up to 2²² with 10⁵–10⁶ nodes. Semantics match GenericSimulator +
-// CjzFactory (cross-validated statistically in tests/test_cross_engine.cpp).
-//
-// Under RecordingTier::kNodeStats every transmission is attributed to a
-// concrete node: backoff sends are explicit calendar events, and a cohort's
-// binomial count is distributed over a uniformly sampled member subset (the
-// exact conditional law) drawn from a dedicated attribution RNG stream —
-// latency AND energy reports work here, and the trajectory is bit-identical
-// across recording tiers.
+/// \file
+/// Fast simulator for the CJZ algorithm.
+///
+/// Exploits two structural facts about the algorithm:
+///
+///   1. Every node in Phase 3 restarted at some success slot l₃, and every
+///      success slot merges all Phase-3 populations whose control channel has
+///      that slot's parity (plus the Phase-2 nodes waiting on it) into ONE
+///      synchronized cohort. Members of a cohort are exchangeable: the number
+///      of transmitters per slot is Binomial(m, p(slot, l₃)), one draw per
+///      cohort per slot instead of m Bernoulli draws.
+///
+///   2. Phase-1/2 backoff transmissions are sparse — h(2^k) per stage of
+///      length 2^k — so they live in a calendar queue; a slot's backoff
+///      senders are read off the queue in O(log) time.
+///
+/// Net cost: O(#cohorts + #due events) per slot, which lets the benches run
+/// t up to 2²² with 10⁵–10⁶ nodes. Semantics match GenericSimulator +
+/// CjzFactory (cross-validated statistically in tests/test_cross_engine.cpp).
+///
+/// Under RecordingTier::kNodeStats every transmission is attributed to a
+/// concrete node: backoff sends are explicit calendar events, and a cohort's
+/// binomial count is distributed over a uniformly sampled member subset (the
+/// exact conditional law) drawn from a dedicated attribution RNG stream —
+/// latency AND energy reports work here, and the trajectory is bit-identical
+/// across recording tiers.
 #pragma once
 
 #include <cstdint>
@@ -38,15 +39,21 @@
 
 namespace cr {
 
+/// Cohort-based CJZ engine (see file comment for the two structural
+/// facts it exploits). One instance per run.
 class FastCjzSimulator {
  public:
+  /// `adversary` must outlive run(); `fs` parameterises the algorithm.
   FastCjzSimulator(FunctionSet fs, Adversary& adversary, SimConfig config,
                    CjzOptions options = {});
 
+  /// Optional per-slot metrics hook (not owned).
   void set_observer(SlotObserver* observer) { observer_ = observer; }
 
+  /// Execute the run described by the constructor arguments.
   SimResult run();
 
+  /// Ground-truth trace of the last run (valid after run()).
   const Trace& trace() const { return trace_; }
 
  private:

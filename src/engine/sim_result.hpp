@@ -1,10 +1,11 @@
-// Shared simulation configuration / result types and the observer hook.
-//
-// All engines (generic and the cohort-based fast ones) produce the same
-// SimResult, honour the same tiered RecordingConfig and drive the same
-// SlotObserver interface, so metrics are engine-agnostic: anything
-// latency_report()/energy_report() can compute from a generic run it can
-// compute from a fast run too.
+/// \file
+/// Shared simulation configuration / result types and the observer hook.
+///
+/// All engines (generic and the cohort-based fast ones) produce the same
+/// SimResult, honour the same tiered RecordingConfig and drive the same
+/// SlotObserver interface, so metrics are engine-agnostic: anything
+/// latency_report()/energy_report() can compute from a generic run it can
+/// compute from a fast run too.
 #pragma once
 
 #include <cstdint>
@@ -53,7 +54,7 @@ struct RecordingConfig {
 
 struct SimConfig {
   slot_t horizon = 1 << 16;   ///< simulate slots 1..horizon (inclusive)
-  std::uint64_t seed = 1;
+  std::uint64_t seed = 1;     ///< master seed; every engine RNG stream forks from it
   /// Stop early once at least one node has arrived and the system drained.
   bool stop_when_empty = false;
   /// Stop right after the first successful transmission (first-success
@@ -80,14 +81,14 @@ struct NodeStats {
 
 struct SimResult {
   slot_t slots = 0;                 ///< slots actually simulated
-  std::uint64_t arrivals = 0;
-  std::uint64_t successes = 0;
-  std::uint64_t jammed_slots = 0;
+  std::uint64_t arrivals = 0;       ///< nodes injected over the run
+  std::uint64_t successes = 0;      ///< messages delivered
+  std::uint64_t jammed_slots = 0;   ///< slots the adversary jammed
   std::uint64_t active_slots = 0;   ///< slots with >=1 node in the system
   std::uint64_t total_sends = 0;    ///< transmissions incl. collisions
-  std::uint64_t live_at_end = 0;
+  std::uint64_t live_at_end = 0;    ///< backlog remaining when the run stopped
   slot_t first_success = 0;         ///< 0 = no success
-  slot_t last_success = 0;
+  slot_t last_success = 0;          ///< 0 = no success
 
   std::vector<slot_t> success_times;    ///< tier >= kSuccessTimes
   std::vector<NodeStats> node_stats;    ///< tier >= kNodeStats

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
+#include <streambuf>
 #include <thread>
 #include <utility>
 
@@ -14,27 +16,48 @@ int default_threads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Discards everything written to it (--quiet).
+std::ostream& null_stream() {
+  struct NullBuf final : std::streambuf {
+    int overflow(int c) override { return traits_type::not_eof(c); }
+  };
+  static NullBuf buf;
+  static std::ostream os(&buf);
+  return os;
+}
+
 }  // namespace
+
+const std::vector<BenchFlag>& BenchDriver::standard_flags() {
+  static const std::vector<BenchFlag> flags = {
+      {"reps", "replications per table cell (quick-aware default)"},
+      {"seed", "base seed; seeds S..S+reps-1 are used"},
+      {"threads", "parallel replication workers (default: all cores; results identical)"},
+      {"quick", "smaller sizes/reps for smoke runs"},
+      {"csv", "write the machine-readable result table to PATH"},
+      {"quiet", "suppress narrative output and skip narrative-only sub-tables; "
+                "CSV unchanged"},
+      {"help", "print usage and exit"},
+  };
+  return flags;
+}
 
 BenchDriver::BenchDriver(int argc, const char* const* argv, BenchInfo info)
     : cli_(argc, argv), info_(std::move(info)) {
-  // --csv is deliberately NOT declared here: a bench that writes CSV lists
-  // "csv" in its BenchInfo.flags, so passing --csv to one that doesn't is
-  // rejected instead of silently producing no file.
-  cli_.declare({"reps", "seed", "threads", "quick", "help"});
-  cli_.declare(info_.flags);
+  for (const BenchFlag& flag : standard_flags()) cli_.declare({flag.name.c_str()});
+  for (const BenchFlag& flag : info_.flags) cli_.declare({flag.name.c_str()});
   if (cli_.get_bool("help", false)) {
     std::printf("%s — %s\n\nflags:\n", info_.id.c_str(), info_.title.c_str());
-    std::printf("  --reps=N     replications per table cell\n");
-    std::printf("  --seed=S     base seed (seeds S..S+reps-1 are used)\n");
-    std::printf("  --threads=N  parallel replication workers (default: all cores;\n");
-    std::printf("               results are identical for every value)\n");
-    std::printf("  --quick      smaller sizes/reps for smoke runs\n");
-    for (const auto& flag : info_.flags) std::printf("  --%s\n", flag.c_str());
+    for (const BenchFlag& flag : standard_flags())
+      std::printf("  --%-10s %s\n", flag.name.c_str(), flag.help.c_str());
+    for (const BenchFlag& flag : info_.flags)
+      std::printf("  --%-10s %s\n", flag.name.c_str(), flag.help.c_str());
     std::exit(0);
   }
   cli_.reject_unknown();
   quick_ = cli_.get_bool("quick", false);
+  quiet_ = cli_.get_bool("quiet", false);
+  out_ = quiet_ ? &null_stream() : &std::cout;
   const auto threads = cli_.get_int("threads", default_threads());
   if (threads < 1) {
     std::fprintf(stderr, "%s: --threads must be >= 1, got %lld\n", cli_.program().c_str(),

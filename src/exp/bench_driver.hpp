@@ -1,30 +1,35 @@
-// Shared driver for the bench binaries.
-//
-// Every bench used to hand-roll the same prologue: parse Cli, read
-// --reps/--quick, pick quick-mode defaults, loop seeds serially. BenchDriver
-// centralises that contract:
-//
-//   * uniform flags: --reps, --seed, --threads, --quick, --help — declared
-//     once, plus the bench's own flags (list "csv" there to enable
-//     csv_path()), with unknown flags rejected loudly (a typo like --rep=10
-//     exits with a did-you-mean message);
-//   * quick-aware defaults: reps(6, 3) reads --reps with a default of 6,
-//     or 3 under --quick;
-//   * deterministic parallel replication: replicate() fans seeds across
-//     --threads workers (default: all hardware threads) and returns
-//     seed-ordered results bit-identical to a serial run.
-//
-// Usage:
-//   BenchDriver driver(argc, argv, {"E2", "worst-case throughput",
-//                                   {"max_exp"}});
-//   const int reps = driver.reps(6, 3);
-//   const auto results = driver.replicate(reps, 11000, [&](std::uint64_t s) {
-//     Scenario sc = ...; sc.config.seed = s;
-//     return run_scenario(engine, sc);
-//   });
+/// \file
+/// Shared driver for the CLI benches (standalone wrappers and `cr bench`).
+///
+/// Every bench used to hand-roll the same prologue: parse Cli, read
+/// --reps/--quick, pick quick-mode defaults, loop seeds serially. BenchDriver
+/// centralises that contract:
+///
+///   * uniform flags: --reps, --seed, --threads, --quick, --csv, --quiet,
+///     --help — declared once, plus the bench's own flags (each with a help
+///     line for --help and `cr list`), with unknown flags rejected loudly
+///     (a typo like --rep=10 exits with a did-you-mean message);
+///   * quick-aware defaults: reps(6, 3) reads --reps with a default of 6,
+///     or 3 under --quick;
+///   * deterministic parallel replication: replicate() fans seeds across
+///     --threads workers (default: all hardware threads) and returns
+///     seed-ordered results bit-identical to a serial run;
+///   * suite-friendly output: narrative tables go to out(), which --quiet
+///     silences so `cr suite run` logs stay readable; --csv=PATH output is
+///     never silenced.
+///
+/// Usage:
+///   BenchDriver driver(argc, argv, {"E2", "worst-case throughput",
+///                                   {{"max_exp", "largest horizon exponent"}}});
+///   const int reps = driver.reps(6, 3);
+///   const auto results = driver.replicate(reps, 11000, [&](std::uint64_t s) {
+///     Scenario sc = ...; sc.config.seed = s;
+///     return run_scenario(engine, sc);
+///   });
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -33,10 +38,18 @@
 
 namespace cr {
 
+/// One bench-specific flag: its name and the one-line help shown by
+/// --help, `cr list --md` and docs/EXPERIMENTS.md (all generated from the
+/// same declaration, so they cannot drift).
+struct BenchFlag {
+  std::string name;  ///< flag name without the leading "--"
+  std::string help;  ///< one-line description
+};
+
 struct BenchInfo {
   std::string id;     ///< experiment number, e.g. "E2"
   std::string title;  ///< one-line description for --help
-  std::vector<std::string> flags;  ///< bench-specific flags beyond the standard set
+  std::vector<BenchFlag> flags;  ///< bench-specific flags beyond the standard set
 };
 
 class BenchDriver {
@@ -49,9 +62,20 @@ class BenchDriver {
   const BenchInfo& info() const { return info_; }
 
   bool quick() const { return quick_; }
+  /// --quiet: narrative output is discarded (out() is a null sink), so
+  /// benches skip narrative-ONLY sub-experiments (tables outside their CSV
+  /// schema, e.g. baselines' E7b/E7c) — the suite runner would otherwise
+  /// pay their full wall-clock for output that goes nowhere. The CSV is
+  /// identical either way.
+  bool quiet() const { return quiet_; }
   /// Worker count for replicate(): --threads, defaulting to the hardware
   /// concurrency (results do not depend on it).
   int threads() const { return threads_; }
+
+  /// Narrative output stream: std::cout normally, a null sink under
+  /// --quiet. CSV files are written regardless — --quiet only mutes the
+  /// human-facing tables and commentary.
+  std::ostream& out() const { return *out_; }
 
   /// --reps, defaulting to `full` (or `quick_def` under --quick).
   int reps(int full, int quick_def) const;
@@ -60,9 +84,7 @@ class BenchDriver {
                        std::int64_t quick_def) const;
   /// --seed, defaulting to the bench's fixed base seed.
   std::uint64_t seed(std::uint64_t def) const;
-  /// --csv=PATH; empty when not requested. Bare --csv selects `def`. Only
-  /// meaningful for benches that list "csv" in BenchInfo.flags (others
-  /// reject the flag at startup).
+  /// --csv=PATH; empty when not requested. Bare --csv selects `def`.
   std::string csv_path(const std::string& def) const;
 
   /// Deterministic parallel replication over seeds base .. base+reps-1,
@@ -74,11 +96,16 @@ class BenchDriver {
     return replicate_map(n, base_seed, std::forward<Fn>(run), threads_);
   }
 
+  /// The uniform flags every bench accepts, for docs generation.
+  static const std::vector<BenchFlag>& standard_flags();
+
  private:
   Cli cli_;
   BenchInfo info_;
   bool quick_ = false;
+  bool quiet_ = false;
   int threads_ = 1;
+  std::ostream* out_ = nullptr;
 };
 
 }  // namespace cr

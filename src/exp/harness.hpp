@@ -1,16 +1,17 @@
-// Experiment harness: multi-seed replication and aggregation.
-//
-// All Monte-Carlo results in the benches flow through replicate(): a run
-// factory is invoked with seeds base, base+1, ..., and per-metric
-// Accumulators are extracted with collect(). This keeps every reported
-// number a (mean ± stddev) over independent seeds, which is how the paper's
-// "with high probability" statements are made observable.
-//
-// Replication parallelises for free: seeds are independent by construction
-// (splitmix64-seeded xoshiro256** gives well-separated streams for adjacent
-// seeds), so replicate(..., threads) fans the seed range across a thread
-// pool and stores each result at its seed's index — the output vector is
-// seed-ordered and bit-identical to the serial path for every thread count.
+/// \file
+/// Experiment harness: multi-seed replication and aggregation.
+///
+/// All Monte-Carlo results in the benches flow through replicate(): a run
+/// factory is invoked with seeds base, base+1, ..., and per-metric
+/// Accumulators are extracted with collect(). This keeps every reported
+/// number a (mean ± stddev) over independent seeds, which is how the paper's
+/// "with high probability" statements are made observable.
+///
+/// Replication parallelises for free: seeds are independent by construction
+/// (splitmix64-seeded xoshiro256** gives well-separated streams for adjacent
+/// seeds), so replicate(..., threads) fans the seed range across a thread
+/// pool and stores each result at its seed's index — the output vector is
+/// seed-ordered and bit-identical to the serial path for every thread count.
 #pragma once
 
 #include <cstdint>

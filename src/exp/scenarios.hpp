@@ -1,14 +1,15 @@
-// Canned scenario builders and the name-keyed scenario registry shared by
-// benches, examples and tests.
-//
-// Each builder returns a Scenario — the (protocol, adversary, config)
-// triple for a named workload from the experiment index in
-// docs/EXPERIMENTS.md. The registry promotes the builders into named,
-// parameterised workloads so drivers can select them by string without
-// hand-rolled dispatch:
-//
-//     Scenario sc = ScenarioRegistry::instance().build("worst_case", params);
-//     SimResult r = run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc);
+/// \file
+/// Canned scenario builders and the name-keyed scenario registry shared by
+/// benches, examples and tests.
+///
+/// Each builder returns a Scenario — the (protocol, adversary, config)
+/// triple for a named workload from the experiment index in
+/// docs/EXPERIMENTS.md. The registry promotes the builders into named,
+/// parameterised workloads so drivers can select them by string without
+/// hand-rolled dispatch:
+///
+///     Scenario sc = ScenarioRegistry::instance().build("worst_case", params);
+///     SimResult r = run_scenario(EngineRegistry::instance().preferred(sc.protocol), sc);
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,35 @@
+# Golden-docs driver: regenerate the experiment index with `cr list --md`
+# and byte-compare it against the committed docs/EXPERIMENTS.md, so the
+# documentation can never drift from the bench/scenario/engine registries it
+# is rendered from.
+#
+# Invoked by CTest (see tests/CMakeLists.txt, label `docs`) as
+#   cmake -DCR=<cr binary> -DGOLDEN=<docs/EXPERIMENTS.md> -DOUT=<out.md> -P docs_diff.cmake
+#
+# To regenerate after changing any BenchSpec/ScenarioEntry/engine
+# registration (or the generator itself):
+#   ./build/src/cr list --md > docs/EXPERIMENTS.md
+foreach(var CR GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "docs_diff.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CR} list --md
+  RESULT_VARIABLE run_rc
+  OUTPUT_FILE ${OUT})
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "docs generation failed: ${CR} list --md exited with ${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "docs/EXPERIMENTS.md is out of sync with the registries.\n"
+    "Generated: ${OUT}\nCommitted: ${GOLDEN}\n"
+    "If the change is intentional, regenerate with:\n"
+    "  ${CR} list --md > ${GOLDEN}")
+endif()
