@@ -52,6 +52,11 @@ class Jammer {
   virtual std::string name() const = 0;
 };
 
+/// Composes an ArrivalProcess with a Jammer. Each component draws from its
+/// own forked RNG stream (derived from the engine's adversary stream on the
+/// first slot), so swapping one component never perturbs the other's draw
+/// sequence — workload axes stay independent under a fixed seed
+/// (tests/test_adversary.cpp, ComposedAdversaryStreams.*).
 class ComposedAdversary final : public Adversary {
  public:
   ComposedAdversary(std::unique_ptr<ArrivalProcess> arrivals, std::unique_ptr<Jammer> jammer);
@@ -62,6 +67,11 @@ class ComposedAdversary final : public Adversary {
  private:
   std::unique_ptr<ArrivalProcess> arrivals_;
   std::unique_ptr<Jammer> jammer_;
+  /// Per-component streams, forked lazily from the first on_slot rng (which
+  /// the engine hands over unconsumed — fork() itself draws nothing).
+  bool streams_forked_ = false;
+  Rng arrival_rng_;
+  Rng jammer_rng_;
 };
 
 }  // namespace cr

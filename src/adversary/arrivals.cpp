@@ -15,12 +15,22 @@ ComposedAdversary::ComposedAdversary(std::unique_ptr<ArrivalProcess> arrivals,
 }
 
 AdversaryAction ComposedAdversary::on_slot(slot_t slot, const PublicHistory& history, Rng& rng) {
+  // Fork one stream per component so the jammer's and the arrival process's
+  // draw sequences are independent: swapping one workload axis cannot shift
+  // the other's randomness. The engine hands the adversary stream over
+  // unconsumed on the first slot, so both forks are pure functions of the
+  // run seed.
+  if (!streams_forked_) {
+    arrival_rng_ = rng.fork(0xA0u);
+    jammer_rng_ = rng.fork(0x1Au);
+    streams_forked_ = true;
+  }
   AdversaryAction act;
   // Jamming decision first: it may not depend on this slot's arrivals per the
-  // model (both are decided before the slot plays out), but fixing an order
-  // keeps rng consumption deterministic.
-  act.jam = jammer_->jams(slot, history, rng);
-  act.inject = arrivals_->arrivals(slot, history, rng);
+  // model (both are decided before the slot plays out); a fixed order also
+  // keeps the observable trace deterministic.
+  act.jam = jammer_->jams(slot, history, jammer_rng_);
+  act.inject = arrivals_->arrivals(slot, history, arrival_rng_);
   return act;
 }
 

@@ -1,0 +1,202 @@
+#include "adversary/component_registry.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "common/check.hpp"
+
+namespace cr {
+
+namespace {
+
+// --- built-in arrivals -----------------------------------------------------
+
+std::unique_ptr<ArrivalProcess> make_no_arrivals(const ParamValues&, const WorkloadContext&) {
+  return no_arrivals();
+}
+
+std::unique_ptr<ArrivalProcess> make_batch(const ParamValues& p, const WorkloadContext&) {
+  return batch_arrival(p.get_uint("n"), p.get_uint("at"));
+}
+
+std::unique_ptr<ArrivalProcess> make_bernoulli(const ParamValues& p, const WorkloadContext& ctx) {
+  const std::uint64_t to = p.get_uint("to");
+  return bernoulli_arrivals(p.get_double("rate"), p.get_uint("from"),
+                            to == 0 ? ctx.horizon : static_cast<slot_t>(to));
+}
+
+std::unique_ptr<ArrivalProcess> make_uniform_random(const ParamValues& p,
+                                                    const WorkloadContext& ctx) {
+  // Construction-time randomness comes from the run seed, so the workload
+  // stays a pure function of (spec, seed) like everything else.
+  return uniform_random_arrivals(p.get_uint("total"), ctx.horizon, ctx.seed);
+}
+
+std::unique_ptr<ArrivalProcess> make_paced(const ParamValues& p, const WorkloadContext& ctx) {
+  return paced_arrivals(ctx.fs, p.get_double("margin"));
+}
+
+std::unique_ptr<ArrivalProcess> make_bursty(const ParamValues& p, const WorkloadContext&) {
+  return bursty_arrivals(p.get_uint("period"), p.get_uint("burst"));
+}
+
+// --- built-in jammers ------------------------------------------------------
+
+std::unique_ptr<Jammer> make_no_jam(const ParamValues&, const WorkloadContext&) {
+  return no_jam();
+}
+
+std::unique_ptr<Jammer> make_iid(const ParamValues& p, const WorkloadContext&) {
+  return iid_jammer(p.get_double("fraction"));
+}
+
+std::unique_ptr<Jammer> make_prefix(const ParamValues& p, const WorkloadContext&) {
+  return prefix_jammer(p.get_uint("count"));
+}
+
+std::unique_ptr<Jammer> make_periodic(const ParamValues& p, const WorkloadContext&) {
+  return periodic_jammer(p.get_uint("period"), p.get_uint("burst"));
+}
+
+std::unique_ptr<Jammer> make_budget_paced(const ParamValues& p, const WorkloadContext& ctx) {
+  return budget_paced_jammer(ctx.fs.g, p.get_double("margin"));
+}
+
+std::unique_ptr<Jammer> make_reactive(const ParamValues& p, const WorkloadContext& ctx) {
+  return reactive_jammer(ctx.fs.g, p.get_double("margin"), p.get_uint("burst"));
+}
+
+}  // namespace
+
+ArrivalRegistry::ArrivalRegistry() {
+  register_arrival({"none", "no arrivals", {}, make_no_arrivals});
+  register_arrival({"batch",
+                    "n nodes arrive simultaneously (the paper's batch setting)",
+                    {{"n", ParamType::kUint, "256", "batch size"},
+                     {"at", ParamType::kUint, "1", "arrival slot"}},
+                    make_batch});
+  register_arrival({"bernoulli",
+                    "one node per slot w.p. rate (rate > 1: floor(rate) plus a coin)",
+                    {{"rate", ParamType::kDouble, "0.1", "per-slot arrival probability"},
+                     {"from", ParamType::kUint, "1", "first active slot"},
+                     {"to", ParamType::kUint, "0", "last active slot (0 = the run horizon)"}},
+                    make_bernoulli});
+  register_arrival({"uniform_random",
+                    "total arrival instants uniform over [1, horizon] (Lemma 4.1's "
+                    "random-injected pattern; drawn from the run seed)",
+                    {{"total", ParamType::kUint, "256", "number of arrivals"}},
+                    make_uniform_random});
+  register_arrival({"paced",
+                    "cumulative arrivals track t/(margin·f(t)) — the heaviest smooth "
+                    "pattern (Cor 3.6)",
+                    {{"margin", ParamType::kDouble, "4", "pacing margin (larger = lighter)"}},
+                    make_paced});
+  register_arrival({"bursty",
+                    "burst nodes every period slots",
+                    {{"period", ParamType::kUint, "1024", "slots between bursts"},
+                     {"burst", ParamType::kUint, "256", "nodes per burst"}},
+                    make_bursty});
+}
+
+ArrivalRegistry& ArrivalRegistry::instance() {
+  static ArrivalRegistry registry;
+  return registry;
+}
+
+const ArrivalEntry* ArrivalRegistry::find(const std::string& name) const {
+  for (const auto& entry : entries_)
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+const ArrivalEntry& ArrivalRegistry::at(const std::string& name) const {
+  const ArrivalEntry* entry = find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "ArrivalRegistry: unknown arrival \"%s\" (known:", name.c_str());
+    for (const auto& e : entries_) std::fprintf(stderr, " %s", e.name.c_str());
+    std::fprintf(stderr, ")\n");
+  }
+  CR_CHECK(entry != nullptr);
+  return *entry;
+}
+
+std::vector<std::string> ArrivalRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+void ArrivalRegistry::register_arrival(ArrivalEntry entry) {
+  CR_CHECK(!entry.name.empty());
+  CR_CHECK(entry.make != nullptr);
+  CR_CHECK(find(entry.name) == nullptr);  // names are unique keys
+  entries_.push_back(std::move(entry));
+}
+
+JammerRegistry::JammerRegistry() {
+  register_jammer({"none", "never jams", {}, make_no_jam});
+  register_jammer({"iid",
+                   "each slot jammed independently w.p. fraction",
+                   {{"fraction", ParamType::kDouble, "0.25", "per-slot jam probability"}},
+                   make_iid});
+  register_jammer({"prefix",
+                   "jams slots [1, count] (Theorem 4.2's first move)",
+                   {{"count", ParamType::kUint, "1024", "length of the jammed prefix"}},
+                   make_prefix});
+  register_jammer({"periodic",
+                   "jams the first burst slots of every period",
+                   {{"period", ParamType::kUint, "64", "cycle length"},
+                    {"burst", ParamType::kUint, "8", "jammed slots per cycle (≤ period)"}},
+                   make_periodic});
+  register_jammer({"budget_paced",
+                   "cumulative jamming tracks t/(margin·g(t)), spent greedily",
+                   {{"margin", ParamType::kDouble, "8", "budget margin (larger = weaker)"}},
+                   make_budget_paced});
+  register_jammer({"reactive",
+                   "jams burst slots after each observed success, within the "
+                   "t/(margin·g(t)) budget",
+                   {{"margin", ParamType::kDouble, "8", "budget margin"},
+                    {"burst", ParamType::kUint, "2", "slots jammed per observed success"}},
+                   make_reactive});
+}
+
+JammerRegistry& JammerRegistry::instance() {
+  static JammerRegistry registry;
+  return registry;
+}
+
+const JammerEntry* JammerRegistry::find(const std::string& name) const {
+  for (const auto& entry : entries_)
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+const JammerEntry& JammerRegistry::at(const std::string& name) const {
+  const JammerEntry* entry = find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "JammerRegistry: unknown jammer \"%s\" (known:", name.c_str());
+    for (const auto& e : entries_) std::fprintf(stderr, " %s", e.name.c_str());
+    std::fprintf(stderr, ")\n");
+  }
+  CR_CHECK(entry != nullptr);
+  return *entry;
+}
+
+std::vector<std::string> JammerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+void JammerRegistry::register_jammer(JammerEntry entry) {
+  CR_CHECK(!entry.name.empty());
+  CR_CHECK(entry.make != nullptr);
+  CR_CHECK(find(entry.name) == nullptr);  // names are unique keys
+  entries_.push_back(std::move(entry));
+}
+
+}  // namespace cr

@@ -1,0 +1,92 @@
+/// \file
+/// ArrivalRegistry and JammerRegistry — the fourth and fifth name-keyed
+/// registries (after engines, scenarios and benches): every arrival process
+/// and jamming strategy registers a name, a description and a ParamSchema,
+/// and becomes composable into any WorkloadSpec (src/exp/workload.hpp)
+/// without new C++.
+///
+/// Both registries share the shape of the other three (find/at,
+/// names/entries, register_* as the extension point; registration is
+/// explicit and not thread-safe — register before fanning out runs).
+/// Factories receive validated ParamValues plus a WorkloadContext carrying
+/// the run-level values components may depend on (the FunctionSet for paced
+/// envelopes, the horizon for default windows, the seed for construction-time
+/// randomness) — so a component parameter can default to "the run's horizon"
+/// without the caller wiring it through by hand.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "adversary/param_schema.hpp"
+#include "common/functions.hpp"
+
+namespace cr {
+
+/// Run-level values a component factory may consume in addition to its own
+/// parameters.
+struct WorkloadContext {
+  const FunctionSet& fs;  ///< the (f, g) pair the protocol under test runs on
+  slot_t horizon = 0;     ///< the run's slot horizon
+  std::uint64_t seed = 0;  ///< the run seed (construction-time randomness)
+};
+
+struct ArrivalEntry {
+  std::string name;
+  std::string description;
+  ParamSchema schema;
+  std::unique_ptr<ArrivalProcess> (*make)(const ParamValues&, const WorkloadContext&);
+};
+
+struct JammerEntry {
+  std::string name;
+  std::string description;
+  ParamSchema schema;
+  std::unique_ptr<Jammer> (*make)(const ParamValues&, const WorkloadContext&);
+};
+
+/// Name-keyed registry of arrival processes. Seeded with the built-ins
+/// ("none", "batch", "bernoulli", "uniform_random", "paced", "bursty").
+class ArrivalRegistry {
+ public:
+  static ArrivalRegistry& instance();
+
+  /// nullptr when unknown.
+  const ArrivalEntry* find(const std::string& name) const;
+  /// Aborts (CR_CHECK) on unknown names, after printing the known set;
+  /// WorkloadSpec validation reports unknown names gracefully upstream.
+  const ArrivalEntry& at(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  const std::vector<ArrivalEntry>& entries() const { return entries_; }
+
+  void register_arrival(ArrivalEntry entry);
+
+ private:
+  ArrivalRegistry();
+  std::vector<ArrivalEntry> entries_;
+};
+
+/// Name-keyed registry of jamming strategies. Seeded with the built-ins
+/// ("none", "iid", "prefix", "periodic", "budget_paced", "reactive").
+class JammerRegistry {
+ public:
+  static JammerRegistry& instance();
+
+  const JammerEntry* find(const std::string& name) const;
+  const JammerEntry& at(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  const std::vector<JammerEntry>& entries() const { return entries_; }
+
+  void register_jammer(JammerEntry entry);
+
+ private:
+  JammerRegistry();
+  std::vector<JammerEntry> entries_;
+};
+
+}  // namespace cr

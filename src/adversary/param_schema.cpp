@@ -1,0 +1,141 @@
+#include "adversary/param_schema.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+
+namespace cr {
+
+std::string param_type_name(ParamType type) {
+  switch (type) {
+    case ParamType::kUint: return "uint";
+    case ParamType::kDouble: return "double";
+  }
+  return "?";
+}
+
+ParamSchema::ParamSchema(std::initializer_list<ParamDef> defs) : defs_(defs) {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    CR_CHECK(!defs_[i].name.empty());
+    // Declared defaults must themselves validate — they are what the docs
+    // advertise and what ParamValues falls back to.
+    if (defs_[i].type == ParamType::kUint) {
+      std::uint64_t u = 0;
+      CR_CHECK(parse_uint_text(defs_[i].default_text, &u));
+    } else {
+      double d = 0.0;
+      CR_CHECK(parse_double_text(defs_[i].default_text, &d));
+    }
+    for (std::size_t j = 0; j < i; ++j) CR_CHECK(defs_[j].name != defs_[i].name);
+  }
+}
+
+const ParamDef* ParamSchema::find(const std::string& name) const {
+  for (const ParamDef& def : defs_)
+    if (def.name == name) return &def;
+  return nullptr;
+}
+
+bool parse_uint_text(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+std::string double_param_text(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool parse_double_text(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+std::uint64_t ParamValues::get_uint(const std::string& name) const {
+  const ParamDef* def = schema_ == nullptr ? nullptr : schema_->find(name);
+  CR_CHECK(def != nullptr && def->type == ParamType::kUint);
+  std::uint64_t value = 0;
+  CR_CHECK(parse_uint_text(text(name), &value));
+  return value;
+}
+
+double ParamValues::get_double(const std::string& name) const {
+  const ParamDef* def = schema_ == nullptr ? nullptr : schema_->find(name);
+  CR_CHECK(def != nullptr && def->type == ParamType::kDouble);
+  double value = 0.0;
+  CR_CHECK(parse_double_text(text(name), &value));
+  return value;
+}
+
+const std::string& ParamValues::text(const std::string& name) const {
+  CR_CHECK(schema_ != nullptr);
+  const auto& defs = schema_->defs();
+  for (std::size_t i = 0; i < defs.size(); ++i)
+    if (defs[i].name == name) return texts_[i];
+  CR_CHECK(false);  // unreachable: getters are schema-checked above
+  return texts_.front();
+}
+
+ParamValidation ParamValidation::check(
+    const ParamSchema& schema, const std::vector<std::pair<std::string, std::string>>& params,
+    const std::string& subject) {
+  ParamValidation out;
+  out.values.schema_ = &schema;
+  out.values.texts_.reserve(schema.defs().size());
+  for (const ParamDef& def : schema.defs()) out.values.texts_.push_back(def.default_text);
+
+  std::set<std::string> seen;
+  for (const auto& [key, value] : params) {
+    const ParamDef* def = schema.find(key);
+    if (def == nullptr) {
+      std::vector<std::string> known;
+      known.reserve(schema.defs().size());
+      for (const ParamDef& d : schema.defs()) known.push_back(d.name);
+      out.error = subject + " does not take a parameter \"" + key + "\"";
+      const std::string hint = closest_match(key, known);
+      if (!hint.empty()) out.error += " (did you mean \"" + hint + "\"?)";
+      if (known.empty()) {
+        out.error += "; it takes no parameters";
+      } else {
+        out.error += "; its parameters are:";
+        for (const std::string& name : known) out.error += " " + name;
+      }
+      return out;
+    }
+    if (!seen.insert(key).second) {
+      out.error = subject + ": parameter \"" + key + "\" given twice";
+      return out;
+    }
+    const bool parses = def->type == ParamType::kUint
+                            ? [&] { std::uint64_t u; return parse_uint_text(value, &u); }()
+                            : [&] { double d; return parse_double_text(value, &d); }();
+    if (!parses) {
+      out.error = subject + ": parameter \"" + key + "\" expects a " +
+                  param_type_name(def->type) + ", got \"" + value + "\"";
+      return out;
+    }
+    for (std::size_t i = 0; i < schema.defs().size(); ++i)
+      if (schema.defs()[i].name == key) out.values.texts_[i] = value;
+  }
+  return out;
+}
+
+}  // namespace cr

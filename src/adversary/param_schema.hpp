@@ -1,0 +1,102 @@
+/// \file
+/// Typed parameter schemas for self-describing workload components.
+///
+/// Every registered arrival process and jammer declares a ParamSchema: the
+/// full list of parameters it consumes, each with a type, a default and a
+/// one-line help string. Validation is structural and total — a key the
+/// schema does not declare is a hard error naming the offending key, and a
+/// value that does not parse as its declared type is a hard error too. This
+/// is what kills the "silent no-op parameter" class of bugs: there is no
+/// code path on which an unknown or unconsumed parameter is quietly
+/// ignored.
+///
+/// The same declarations feed `cr list --md` (docs/EXPERIMENTS.md grows a
+/// table per component) and `cr bench workload --help`, so the docs cannot
+/// drift from what validation actually accepts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cr {
+
+enum class ParamType {
+  kUint,    ///< non-negative integer (fits std::uint64_t, decimal digits)
+  kDouble,  ///< finite decimal number
+};
+
+/// "uint" / "double", for docs and error messages.
+std::string param_type_name(ParamType type);
+
+/// One declared parameter of a workload component.
+struct ParamDef {
+  std::string name;          ///< key as written in flags/manifests
+  ParamType type = ParamType::kDouble;
+  std::string default_text;  ///< default value, in source text form
+  std::string help;          ///< one-line description for docs/--help
+};
+
+/// Ordered list of ParamDefs with unique names.
+class ParamSchema {
+ public:
+  ParamSchema() = default;
+  ParamSchema(std::initializer_list<ParamDef> defs);
+
+  /// nullptr when `name` is not declared.
+  const ParamDef* find(const std::string& name) const;
+
+  const std::vector<ParamDef>& defs() const { return defs_; }
+  bool empty() const { return defs_.empty(); }
+
+ private:
+  std::vector<ParamDef> defs_;
+};
+
+/// Validated, typed parameter values for one component: every declared
+/// parameter resolves to either the supplied text or its default, and the
+/// typed getters never fail (validation already proved the text parses).
+class ParamValues {
+ public:
+  std::uint64_t get_uint(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  /// The raw text backing `name` (supplied or default).
+  const std::string& text(const std::string& name) const;
+
+ private:
+  friend struct ParamValidation;
+  const ParamSchema* schema_ = nullptr;
+  /// Parallel to schema_->defs(): resolved text per parameter.
+  std::vector<std::string> texts_;
+};
+
+/// Outcome of validating a (key, value) list against a schema.
+struct ParamValidation {
+  ParamValues values;
+  std::string error;  ///< empty on success; names the offending key otherwise
+
+  bool ok() const { return error.empty(); }
+
+  /// Validate `params` against `schema`. `subject` names the component in
+  /// error messages (e.g. "arrival \"bernoulli\""). Errors: a key the schema
+  /// does not declare (with a did-you-mean suggestion when one is close), a
+  /// duplicated key, or a value that does not parse as the declared type.
+  static ParamValidation check(const ParamSchema& schema,
+                               const std::vector<std::pair<std::string, std::string>>& params,
+                               const std::string& subject);
+};
+
+/// Strict scalar parses shared by the validator (and usable by callers that
+/// pre-screen values): whole string must parse, no sign for uints, finite
+/// doubles only.
+bool parse_uint_text(const std::string& text, std::uint64_t* out);
+bool parse_double_text(const std::string& text, double* out);
+
+/// Round-trip-exact text for a double param value (%.17g — survives
+/// parse_double_text bit-for-bit). Presets use it to serialize derived
+/// parameter values.
+std::string double_param_text(double v);
+
+}  // namespace cr

@@ -6,6 +6,7 @@
 
 #include "cli/benches/benches.hpp"
 #include "common/check.hpp"
+#include "common/cli.hpp"
 
 namespace cr {
 
@@ -23,6 +24,7 @@ BenchRegistry::BenchRegistry() {
   register_bench(benches::ablation());
   register_bench(benches::cd_contrast());
   register_bench(benches::scenario());
+  register_bench(benches::workload());
 }
 
 BenchRegistry& BenchRegistry::instance() {
@@ -39,7 +41,10 @@ const BenchSpec* BenchRegistry::find(const std::string& name) const {
 const BenchSpec& BenchRegistry::at(const std::string& name) const {
   const BenchSpec* spec = find(name);
   if (spec == nullptr) {
-    std::fprintf(stderr, "unknown bench \"%s\"; known benches:", name.c_str());
+    std::fprintf(stderr, "unknown bench \"%s\"", name.c_str());
+    const std::string hint = closest_match(name, names());
+    if (!hint.empty()) std::fprintf(stderr, " (did you mean \"%s\"?)", hint.c_str());
+    std::fprintf(stderr, "; known benches:");
     for (const BenchSpec& entry : entries_) std::fprintf(stderr, " %s", entry.name.c_str());
     std::fprintf(stderr, "\n");
     std::exit(2);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/bench_driver.hpp"
@@ -40,6 +41,19 @@ struct BenchSpec {
   /// Entry point: argv[0] is a display name; flags follow. Returns the
   /// process exit code.
   int (*run)(int argc, const char* const* argv);
+
+  /// Optional: accept flags whose names are dynamic (the workload bench's
+  /// `arrival.<param>`/`jammer.<param>` keys) — consulted by the suite
+  /// validator in addition to `flags`, and forwarded as
+  /// BenchInfo::dynamic_flag by the bench itself.
+  bool (*allows_flag)(const std::string& name) = nullptr;
+
+  /// Optional: semantic validation of one fully-expanded suite cell (the
+  /// flag list the cell would pass, minus runner-controlled flags). Returns
+  /// "" when valid, else a message naming the offending key. Runs at
+  /// manifest-parse time, so a bad cell fails BEFORE anything executes.
+  std::string (*validate_cell)(const std::vector<std::pair<std::string, std::string>>& flags) =
+      nullptr;
 
   /// Name of the legacy standalone binary ("bench_" + name).
   std::string legacy_binary() const { return "bench_" + name; }

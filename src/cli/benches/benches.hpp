@@ -22,5 +22,6 @@ BenchSpec energy();            // E10
 BenchSpec ablation();          // E12
 BenchSpec cd_contrast();       // E13
 BenchSpec scenario();          // S1 — generic registry-scenario runner
+BenchSpec workload();          // S2 — composable WorkloadSpec runner
 
 }  // namespace cr::benches

@@ -23,6 +23,61 @@ namespace cr::benches {
 
 namespace {
 
+/// The ScenarioParams-backed flags of this bench (everything except
+/// --scenario/--engine). Each preset declares which of these it consumes
+/// (ScenarioEntry::params); passing one a preset ignores is a hard error —
+/// the same no-silent-no-op rule the WorkloadSpec API enforces.
+const std::vector<std::string>& scenario_param_flags() {
+  static const std::vector<std::string> flags = {
+      "horizon", "n", "jam", "rate", "arrival_margin", "jam_margin", "g_regime", "gamma"};
+  return flags;
+}
+
+/// "" when every explicitly-passed param flag is consumed by `entry` under
+/// `g_regime`, else an error naming the first offending key. The g=log
+/// regime has no scale, so an explicit --gamma there is the same silent
+/// no-op the WorkloadSpec validator rejects (functions_log_g ignores it).
+std::string check_consumed(const ScenarioEntry& entry,
+                           const std::vector<std::string>& passed,
+                           const std::string& g_regime) {
+  for (const std::string& name : passed) {
+    if (name == "gamma" && g_regime == "log")
+      return "scenario \"" + entry.name + "\" does not consume --gamma under "
+             "--g_regime=log (the log regime has no scale; it would be a silent no-op); "
+             "drop it or pick const/exp_sqrt_log";
+    if (entry.consumes(name)) continue;
+    std::string consumed;
+    for (const std::string& p : entry.params) consumed += " " + p;
+    return "scenario \"" + entry.name + "\" does not consume --" + name +
+           " (it would be a silent no-op); its parameters are:" + consumed;
+  }
+  return "";
+}
+
+std::string validate_cell(const std::vector<std::pair<std::string, std::string>>& flags) {
+  std::string scenario_name = "batch";
+  std::string g_regime = "const";
+  for (const auto& [key, value] : flags) {
+    if (key == "scenario") scenario_name = value;
+    if (key == "g_regime") g_regime = value;
+  }
+  const ScenarioEntry* entry = ScenarioRegistry::instance().find(scenario_name);
+  if (entry == nullptr) {
+    std::string error = "unknown scenario \"" + scenario_name + "\"";
+    const std::string hint =
+        closest_match(scenario_name, ScenarioRegistry::instance().names());
+    if (!hint.empty()) error += " (did you mean \"" + hint + "\"?)";
+    error += "; known scenarios:";
+    for (const std::string& name : ScenarioRegistry::instance().names()) error += " " + name;
+    return error;
+  }
+  std::vector<std::string> passed;
+  for (const auto& [key, value] : flags)
+    for (const std::string& param : scenario_param_flags())
+      if (key == param) passed.push_back(key);
+  return check_consumed(*entry, passed, g_regime);
+}
+
 int run(int argc, const char* const* argv) {
   const BenchDriver driver(argc, argv, {scenario().id, scenario().summary, scenario().flags});
   std::ostream& out = driver.out();
@@ -40,10 +95,29 @@ int run(int argc, const char* const* argv) {
   const std::string scenario_name = driver.cli().get_string("scenario", "batch");
   const std::string engine_name = driver.cli().get_string("engine", "preferred");
 
-  // Validate the scenario name and resolve the engine before burning any
-  // replication time; both registries abort with the known-name list. The
-  // protocol spec does not depend on the seed, so one probe build picks the
-  // engine for every replication.
+  // Validate the scenario name and the passed params before burning any
+  // replication time: an unknown scenario exits 2 with a suggestion, and a
+  // param this preset does not consume is a hard error instead of a silent
+  // no-op (the suite validator applies the same rule at parse time).
+  const ScenarioEntry* entry = ScenarioRegistry::instance().find(scenario_name);
+  std::string error;
+  if (entry == nullptr) {
+    std::vector<std::pair<std::string, std::string>> probe_flags = {
+        {"scenario", scenario_name}};
+    error = validate_cell(probe_flags);
+  } else {
+    std::vector<std::string> passed;
+    for (const std::string& name : scenario_param_flags())
+      if (driver.cli().has(name)) passed.push_back(name);
+    error = check_consumed(*entry, passed, params.g_regime);
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "cr bench scenario: %s\n", error.c_str());
+    return 2;
+  }
+
+  // Resolve the engine from one probe build — the protocol spec does not
+  // depend on the seed, so it picks the engine for every replication.
   const Scenario probe = ScenarioRegistry::instance().build(scenario_name, params);
   const Engine& engine = engine_name == "preferred"
                              ? EngineRegistry::instance().preferred(probe.protocol)
@@ -133,6 +207,7 @@ BenchSpec scenario() {
       {"g_regime", "g regime: const | log | exp_sqrt_log (default const)"},
       {"gamma", "const-g value / exp_sqrt_log scale (default 4)"},
   };
+  spec.validate_cell = validate_cell;
   spec.csv_columns = {"scenario", "engine", "horizon", "n",      "jam",   "slots",
                       "arrivals", "successes", "jammed", "served", "sends", "backlog_at_end"};
   spec.csv_row_desc = "exactly one row: aggregate counters, means over reps";

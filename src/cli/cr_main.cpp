@@ -40,8 +40,24 @@ int usage(int exit_code) {
                "      --force        rerun cells whose CSV already exists\n"
                "  cr suite expand <manifest> [--shard=i/n] [--quick] [--out=DIR]\n"
                "                                      print the cell plan, run nothing\n"
+               "  cr version                          git SHA, build type, C++ standard\n"
                "  cr help                             this text\n");
   return exit_code;
+}
+
+/// `cr version` — provenance for bug reports: the git SHA of the repository
+/// at the CWD (same `git -C` path the suite run-manifests use), the CMake
+/// build type baked in at compile time, and the C++ standard.
+int run_version() {
+#ifndef CR_BUILD_TYPE
+#define CR_BUILD_TYPE "unspecified"
+#endif
+  std::printf("cr (conf_podc_ChenJZ21 experiment tool)\n");
+  std::printf("  git_sha:  %s (repository at the current directory)\n",
+              cr::git_head_sha(".").c_str());
+  std::printf("  build:    %s\n", CR_BUILD_TYPE[0] == '\0' ? "unspecified" : CR_BUILD_TYPE);
+  std::printf("  C++:      %ld\n", static_cast<long>(__cplusplus));
+  return 0;
 }
 
 int run_list(int argc, const char* const* argv) {
@@ -107,6 +123,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(2);
   const std::string cmd = argv[1];
   if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(0);
+  if (cmd == "version" || cmd == "--version") return run_version();
   // Cli treats argv[0] as the program name, so hand each subcommand an argv
   // that starts at its own token ("list" / "run" / "expand").
   if (cmd == "list") return run_list(argc - 1, argv + 1);

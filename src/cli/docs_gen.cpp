@@ -2,9 +2,11 @@
 
 #include <sstream>
 
+#include "adversary/component_registry.hpp"
 #include "cli/bench_registry.hpp"
 #include "engine/engine.hpp"
 #include "exp/scenarios.hpp"
+#include "exp/workload.hpp"
 
 namespace cr {
 
@@ -40,6 +42,39 @@ std::string column_list(const BenchSpec& spec) {
   return out;
 }
 
+/// "—" for parameterless components, else "`p` (type, default d): help; …".
+std::string schema_cell(const ParamSchema& schema) {
+  if (schema.empty()) return "—";
+  std::string out;
+  for (const ParamDef& def : schema.defs()) {
+    if (!out.empty()) out += "; ";
+    out += "`" + def.name + "` (" + param_type_name(def.type) + ", default " +
+           def.default_text + "): " + def.help;
+  }
+  return out;
+}
+
+/// The arrivals/jammers tables shared by the workload section; rendered
+/// straight from the component registries so the docs cannot drift from
+/// what validation accepts.
+void component_tables(std::ostringstream& os) {
+  os << "### Arrival processes (`--arrival`, params `--arrival.<p>`)\n"
+     << "\n"
+     << "| Name | Workload | Parameters |\n"
+     << "| --- | --- | --- |\n";
+  for (const ArrivalEntry& entry : ArrivalRegistry::instance().entries())
+    os << "| `" << entry.name << "` | " << md_cell(entry.description) << " | "
+       << md_cell(schema_cell(entry.schema)) << " |\n";
+  os << "\n"
+     << "### Jamming strategies (`--jammer`, params `--jammer.<p>`)\n"
+     << "\n"
+     << "| Name | Strategy | Parameters |\n"
+     << "| --- | --- | --- |\n";
+  for (const JammerEntry& entry : JammerRegistry::instance().entries())
+    os << "| `" << entry.name << "` | " << md_cell(entry.description) << " | "
+       << md_cell(schema_cell(entry.schema)) << " |\n";
+}
+
 }  // namespace
 
 std::string registry_listing_text() {
@@ -48,12 +83,24 @@ std::string registry_listing_text() {
   for (const BenchSpec& spec : BenchRegistry::instance().entries())
     os << "  " << spec.name << std::string(spec.name.size() < 18 ? 18 - spec.name.size() : 1, ' ')
        << spec.id << "  " << spec.summary << "\n";
-  os << "\nscenarios (cr bench scenario --scenario=<name>):\n";
+  os << "\nscenarios (cr bench scenario --scenario=<name>; presets over WorkloadSpec):\n";
   for (const ScenarioEntry& entry : ScenarioRegistry::instance().entries())
     os << "  " << entry.name
        << std::string(entry.name.size() < 18 ? 18 - entry.name.size() : 1, ' ')
        << entry.description << "\n";
-  os << "\nengines (--engine on the scenario bench; others pick preferred()):\n";
+  os << "\narrivals (cr bench workload --arrival=<name>; params via --arrival.<p>):\n";
+  for (const ArrivalEntry& entry : ArrivalRegistry::instance().entries())
+    os << "  " << entry.name
+       << std::string(entry.name.size() < 18 ? 18 - entry.name.size() : 1, ' ')
+       << entry.description << "\n";
+  os << "\njammers (cr bench workload --jammer=<name>; params via --jammer.<p>):\n";
+  for (const JammerEntry& entry : JammerRegistry::instance().entries())
+    os << "  " << entry.name
+       << std::string(entry.name.size() < 18 ? 18 - entry.name.size() : 1, ' ')
+       << entry.description << "\n";
+  os << "\nprotocols (--protocol on the workload bench):\n";
+  for (const std::string& name : workload_protocol_names()) os << "  " << name << "\n";
+  os << "\nengines (--engine on the scenario/workload benches; others pick preferred()):\n";
   for (const std::string& name : EngineRegistry::instance().names()) os << "  " << name << "\n";
   os << "\n`cr list --md` prints docs/EXPERIMENTS.md; `cr help` prints usage.\n";
   return os.str();
@@ -101,13 +148,16 @@ std::string experiments_markdown() {
      << "\n"
      << "## Registries\n"
      << "\n"
-     << "Engine and workload selection go through the registries\n"
+     << "Engine and workload selection go through five name-keyed registries\n"
      << "(`EngineRegistry` in `src/engine/engine.hpp`, `ScenarioRegistry` in\n"
-     << "`src/exp/scenarios.hpp`, `BenchRegistry` in `src/cli/bench_registry.hpp`):\n"
-     << "a bench describes *what* runs (a `ProtocolSpec`) and the registry picks\n"
-     << "the fastest engine that can execute it (`generic` — per-node reference;\n"
-     << "`fast_cjz`, `fast_batch` — cohort engines validated against it in\n"
-     << "`tests/test_cross_engine.cpp`).\n"
+     << "`src/exp/scenarios.hpp`, `BenchRegistry` in `src/cli/bench_registry.hpp`,\n"
+     << "`ArrivalRegistry`/`JammerRegistry` in\n"
+     << "`src/adversary/component_registry.hpp`): a bench describes *what* runs\n"
+     << "(a `ProtocolSpec`) and the registry picks the fastest engine that can\n"
+     << "execute it (`generic` — per-node reference; `fast_cjz`, `fast_batch` —\n"
+     << "cohort engines validated against it in `tests/test_cross_engine.cpp`);\n"
+     << "workloads compose by name from the arrival/jammer component registries\n"
+     << "(see the workload composition section below).\n"
      << "\n"
      << "## Recording tiers\n"
      << "\n"
@@ -163,18 +213,63 @@ std::string experiments_markdown() {
   os << "\n## Named scenarios\n"
      << "\n"
      << "`ScenarioRegistry` entries (parameterised by `ScenarioParams`; run any\n"
-     << "of them directly with `cr bench scenario --scenario=<name>`):\n"
+     << "of them directly with `cr bench scenario --scenario=<name>`). Each is a\n"
+     << "thin preset over `WorkloadSpec` (`src/exp/workload.hpp`) — byte-identical\n"
+     << "to the equivalent component composition, parity-tested in\n"
+     << "`tests/test_workload.cpp`. A preset consumes exactly the listed\n"
+     << "parameters; passing any other is a hard error, not a silent no-op:\n"
      << "\n"
-     << "| Name | Workload |\n"
-     << "| --- | --- |\n";
-  for (const ScenarioEntry& entry : ScenarioRegistry::instance().entries())
-    os << "| `" << entry.name << "` | " << md_cell(entry.description) << " |\n";
+     << "| Name | Workload | Consumed params |\n"
+     << "| --- | --- | --- |\n";
+  for (const ScenarioEntry& entry : ScenarioRegistry::instance().entries()) {
+    std::string params;
+    for (const std::string& p : entry.params) {
+      if (!params.empty()) params += ", ";
+      params += "`" + p + "`";
+    }
+    os << "| `" << entry.name << "` | " << md_cell(entry.description) << " | " << params
+       << " |\n";
+  }
+  os << "\n## Workload composition\n"
+     << "\n"
+     << "`cr bench workload` composes a workload from first principles instead\n"
+     << "of a preset: any registered arrival process × any registered jammer ×\n"
+     << "g regime × named protocol. Every component self-describes a parameter\n"
+     << "schema (below); an unknown or unconsumed key — a parameter the chosen\n"
+     << "component does not declare, or `gamma` under `g=log` — is a hard error\n"
+     << "naming the key, both on the command line and at suite-manifest parse\n"
+     << "time. The flat `key=value` form is the same in both places:\n"
+     << "\n"
+     << "```sh\n"
+     << "cr bench workload --arrival=bernoulli --arrival.rate=0.2 \\\n"
+     << "                  --jammer=reactive --jammer.burst=3 --protocol=cjz\n"
+     << "```\n"
+     << "\n"
+     << "or, as a suite cell sweeping the (arrival × jammer) product\n"
+     << "(`suites/workload_grid_quick.json` is the checked-in example, run by\n"
+     << "the `workload`-labelled CTest entry):\n"
+     << "\n"
+     << "```json\n"
+     << "{\"bench\": \"workload\",\n"
+     << " \"grid\": {\"arrival\": [\"batch\", \"paced\"], \"jammer\": [\"none\", \"iid\"]}}\n"
+     << "```\n"
+     << "\n";
+  component_tables(os);
+  os << "\nNamed protocols (`--protocol`): ";
+  {
+    std::string names;
+    for (const std::string& name : workload_protocol_names()) {
+      if (!names.empty()) names += ", ";
+      names += "`" + name + "`";
+    }
+    os << names << ".\n";
+  }
   os << "\n## Engines\n"
      << "\n";
   for (const std::string& name : EngineRegistry::instance().names())
     os << "- `" << name << "`\n";
   os << "\nBenches select engines via `EngineRegistry::preferred(spec)`; the\n"
-     << "`scenario` bench exposes the choice as `--engine`.\n"
+     << "`scenario` and `workload` benches expose the choice as `--engine`.\n"
      << "\n"
      << "## Suites\n"
      << "\n"

@@ -42,10 +42,12 @@ bool bench_declares(const BenchSpec& spec, const std::string& name) {
   return false;
 }
 
-/// A flag a manifest may set on `bench`: declared by it, or a standard flag
-/// that is not runner-reserved.
+/// A flag a manifest may set on `bench`: declared by it, accepted by its
+/// dynamic-flag predicate (the workload bench's `arrival.*`/`jammer.*`
+/// keys), or a standard flag that is not runner-reserved.
 bool flag_allowed(const BenchSpec& spec, const std::string& name) {
   if (reserved_flags().count(name)) return false;
+  if (spec.allows_flag != nullptr && spec.allows_flag(name)) return true;
   return bench_declares(spec, name) || is_standard_flag(name);
 }
 
@@ -114,16 +116,14 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
-/// SHA of the repository CONTAINING THE MANIFEST (not the process CWD —
-/// `cr` may be invoked from anywhere, and the manifest's repo is the one
-/// whose state the provenance record is about). "unknown" outside a repo
-/// or when the suite was not loaded from a file.
-std::string git_sha(const std::string& manifest_dir) {
-  if (manifest_dir.empty()) return "unknown";
+}  // namespace
+
+std::string git_head_sha(const std::string& dir) {
+  if (dir.empty()) return "unknown";
   // Shell-quote the directory: close the single-quoted span, emit an
   // escaped quote, reopen ('\'' idiom).
   std::string quoted = "'";
-  for (const char c : manifest_dir)
+  for (const char c : dir)
     if (c == '\'')
       quoted += "'\\''";
     else
@@ -139,6 +139,8 @@ std::string git_sha(const std::string& manifest_dir) {
   while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
   return out.empty() ? "unknown" : out;
 }
+
+namespace {
 
 /// Execute one cell in a forked child so a bench that exits or aborts
 /// (bad flag value hitting CR_CHECK, std::exit in a driver, a crash)
@@ -227,7 +229,10 @@ SuiteLoadResult parse_suite(const JsonValue& root, const std::string& source) {
     if (bench_spec == nullptr) {
       std::string known;
       for (const auto& n : registry.names()) known += " " + n;
-      return fail("unknown bench \"" + block.bench + "\"; known benches:" + known);
+      std::string error = "unknown bench \"" + block.bench + "\"";
+      const std::string hint = closest_match(block.bench, registry.names());
+      if (!hint.empty()) error += " (did you mean \"" + hint + "\"?)";
+      return fail(error + "; known benches:" + known);
     }
     if (const JsonValue* grid = item->find("grid")) {
       if (!grid->is_object()) return fail(block.bench + ": \"grid\" must be an object");
@@ -286,8 +291,9 @@ SuiteLoadResult parse_suite(const JsonValue& root, const std::string& source) {
   // silently halve the intended coverage. Distinguish true duplicates from
   // distinct cells whose values merely sanitize to the same id, so the
   // error points at the actual problem.
+  const std::vector<SuiteCell> expanded = expand_suite(out.spec);
   std::map<std::string, std::string> seen;  // id -> canonical cell text
-  for (const SuiteCell& cell : expand_suite(out.spec)) {
+  for (const SuiteCell& cell : expanded) {
     std::string canonical = cell.bench;
     for (const auto& [key, value] : cell.flags) canonical += "\x1f" + key + "=" + value;
     canonical += "\x1f" + (cell.has_seed ? std::to_string(cell.seed) : "default");
@@ -299,6 +305,18 @@ SuiteLoadResult parse_suite(const JsonValue& root, const std::string& source) {
                       : "cell id collision: two DIFFERENT cells sanitize to \"" + cell.id +
                             "\" (values differing only in non-[A-Za-z0-9._-] characters); "
                             "rename the values to differ in filesystem-safe characters");
+  }
+
+  // Benches with semantic cell validation (the scenario preset's
+  // consumed-param rule, the workload bench's component schemas) veto bad
+  // cells last — an unconsumed parameter or unknown component in a manifest
+  // axis fails the whole load with a message naming the key, BEFORE anything
+  // runs.
+  for (const SuiteCell& cell : expanded) {
+    const BenchSpec& bench_spec = *registry.find(cell.bench);
+    if (bench_spec.validate_cell == nullptr) continue;
+    const std::string cell_error = bench_spec.validate_cell(cell.flags);
+    if (!cell_error.empty()) return fail("cell \"" + cell.id + "\": " + cell_error);
   }
   return out;
 }
@@ -451,7 +469,7 @@ int run_suite(const SuiteSpec& spec, const SuiteRunOptions& opts, std::ostream& 
     manifest << "{\n"
              << "  \"suite\": \"" << json_escape(spec.name) << "\",\n"
              << "  \"description\": \"" << json_escape(spec.description) << "\",\n"
-             << "  \"git_sha\": \"" << json_escape(git_sha(spec.source_dir)) << "\",\n"
+             << "  \"git_sha\": \"" << json_escape(git_head_sha(spec.source_dir)) << "\",\n"
              << "  \"config_hash\": \"" << config_hash << "\",\n"
              << "  \"shard\": \"" << opts.shard.index << "/" << opts.shard.count << "\",\n"
              << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n"

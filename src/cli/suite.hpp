@@ -135,4 +135,9 @@ int run_suite(const SuiteSpec& spec, const SuiteRunOptions& opts, std::ostream& 
 /// can be matched to the exact suite configuration that produced them.
 std::string suite_config_hash(const std::vector<SuiteCell>& cells);
 
+/// Short SHA of the git repository containing `dir` (via `git -C`), or
+/// "unknown" outside a repo / when `dir` is empty. Run manifests record the
+/// manifest's own repo; `cr version` records the CWD's.
+std::string git_head_sha(const std::string& dir);
+
 }  // namespace cr

@@ -103,9 +103,6 @@ bool Cli::get_bool(const std::string& name, bool def) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
-namespace {
-
-/// Levenshtein distance, for did-you-mean suggestions on misspelled flags.
 std::size_t edit_distance(const std::string& a, const std::string& b) {
   std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
   for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
@@ -120,7 +117,18 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   return prev[b.size()];
 }
 
-}  // namespace
+std::string closest_match(const std::string& name, const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_dist = 3;  // suggest only close matches
+  for (const std::string& cand : candidates) {
+    const std::size_t d = edit_distance(name, cand);
+    if (d < best_dist) {
+      best_dist = d;
+      best = cand;
+    }
+  }
+  return best;
+}
 
 void Cli::declare(std::initializer_list<const char*> names) const {
   const std::lock_guard<std::mutex> lock(known_mutex_);
@@ -144,17 +152,10 @@ void Cli::reject_unknown() const {
   const auto unknown = unknown_flags();
   if (unknown.empty()) return;
   const std::lock_guard<std::mutex> lock(known_mutex_);
+  const std::vector<std::string> candidates(known_.begin(), known_.end());
   for (const auto& name : unknown) {
     std::fprintf(stderr, "%s: unknown flag --%s", program_.c_str(), name.c_str());
-    std::string best;
-    std::size_t best_dist = 3;  // suggest only close matches
-    for (const auto& cand : known_) {
-      const std::size_t d = edit_distance(name, cand);
-      if (d < best_dist) {
-        best_dist = d;
-        best = cand;
-      }
-    }
+    const std::string best = closest_match(name, candidates);
     if (!best.empty()) std::fprintf(stderr, " (did you mean --%s?)", best.c_str());
     std::fprintf(stderr, "\n");
   }

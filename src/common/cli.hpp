@@ -19,6 +19,14 @@
 
 namespace cr {
 
+/// Levenshtein distance, for did-you-mean suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// The candidate closest to `name` (edit distance < 3), or "" when nothing
+/// is close enough to suggest. Shared by flag parsing, `cr bench <unknown>`
+/// and workload-parameter validation.
+std::string closest_match(const std::string& name, const std::vector<std::string>& candidates);
+
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
@@ -43,6 +51,11 @@ class Cli {
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
+
+  /// Every --name=value pair as parsed, in name order. For flag sets whose
+  /// names are dynamic (the workload bench's `arrival.*`/`jammer.*` keys);
+  /// callers remain responsible for declaring what they consume.
+  const std::map<std::string, std::string>& raw_flags() const { return flags_; }
 
  private:
   std::string program_;

@@ -54,6 +54,9 @@ BenchDriver::BenchDriver(int argc, const char* const* argv, BenchInfo info)
       std::printf("  --%-10s %s\n", flag.name.c_str(), flag.help.c_str());
     std::exit(0);
   }
+  if (info_.dynamic_flag != nullptr)
+    for (const std::string& name : cli_.unknown_flags())
+      if (info_.dynamic_flag(name)) cli_.declare({name.c_str()});
   cli_.reject_unknown();
   quick_ = cli_.get_bool("quick", false);
   quiet_ = cli_.get_bool("quiet", false);

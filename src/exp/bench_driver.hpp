@@ -50,6 +50,11 @@ struct BenchInfo {
   std::string id;     ///< experiment number, e.g. "E2"
   std::string title;  ///< one-line description for --help
   std::vector<BenchFlag> flags;  ///< bench-specific flags beyond the standard set
+  /// Optional: accept flags whose names are dynamic (the workload bench's
+  /// `arrival.<param>`/`jammer.<param>` keys). A passed flag matching the
+  /// predicate is treated as declared; precise validation (is the parameter
+  /// real for the chosen component?) stays with the bench.
+  bool (*dynamic_flag)(const std::string& name) = nullptr;
 };
 
 class BenchDriver {

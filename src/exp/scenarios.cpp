@@ -8,6 +8,7 @@
 #include "adversary/arrivals.hpp"
 #include "adversary/jammers.hpp"
 #include "common/check.hpp"
+#include "exp/workload.hpp"
 
 namespace cr {
 
@@ -88,65 +89,56 @@ Scenario smooth_scenario(slot_t horizon, FunctionSet fs, double arrival_margin,
 
 namespace {
 
+// The five built-in builders are thin presets over WorkloadSpec: each maps
+// its ScenarioParams onto named registry components (scenario_preset_workload
+// in src/exp/workload.cpp) and materialises the result. Parity with the
+// direct compositions is pinned byte-for-byte in tests/test_workload.cpp.
+
 Scenario build_worst_case(const ScenarioParams& p) {
-  return worst_case_scenario(p.horizon, p.jam, p.arrival_margin, p.seed);
+  return build_workload(scenario_preset_workload("worst_case", p));
 }
 
 Scenario build_batch(const ScenarioParams& p) {
-  Scenario sc = batch_scenario(p.n, p.jam, p.horizon, functions_for_regime(p.g_regime, p.gamma));
-  sc.config.seed = p.seed;
-  return sc;
+  return build_workload(scenario_preset_workload("batch", p));
 }
 
 Scenario build_smooth(const ScenarioParams& p) {
-  Scenario sc = smooth_scenario(p.horizon, functions_for_regime(p.g_regime, p.gamma),
-                                p.arrival_margin, p.jam_margin);
-  sc.config.seed = p.seed;
-  return sc;
+  return build_workload(scenario_preset_workload("smooth", p));
 }
 
 Scenario build_bernoulli_stream(const ScenarioParams& p) {
-  Scenario sc;
-  sc.fs = functions_for_regime(p.g_regime, p.gamma);
-  sc.adversary = std::make_unique<ComposedAdversary>(
-      bernoulli_arrivals(p.rate, 1, p.horizon),
-      p.jam > 0.0 ? iid_jammer(p.jam) : no_jam());
-  sc.config.horizon = p.horizon;
-  sc.config.seed = p.seed;
-  sc.protocol = cjz_protocol(sc.fs);
-  return sc;
+  return build_workload(scenario_preset_workload("bernoulli_stream", p));
 }
 
 Scenario build_bursty(const ScenarioParams& p) {
-  // Burstiest arrival pattern still inside the smooth budget: batches of n
-  // every ceil(arrival_margin·n·f(t)) slots, budget-paced jamming on top
-  // (the E9 latency workload).
-  Scenario sc;
-  sc.fs = functions_for_regime(p.g_regime, p.gamma);
-  const double ft = sc.fs.f(static_cast<double>(p.horizon));
-  const auto period = static_cast<slot_t>(
-      std::max(1.0, std::ceil(p.arrival_margin * static_cast<double>(p.n) * ft)));
-  sc.adversary = std::make_unique<ComposedAdversary>(
-      bursty_arrivals(period, p.n), budget_paced_jammer(sc.fs.g, p.jam_margin));
-  sc.config.horizon = p.horizon;
-  sc.config.seed = p.seed;
-  sc.protocol = cjz_protocol(sc.fs);
-  return sc;
+  return build_workload(scenario_preset_workload("bursty", p));
 }
 
 }  // namespace
 
+bool ScenarioEntry::consumes(const std::string& param) const {
+  for (const std::string& name : params)
+    if (name == param) return true;
+  return false;
+}
+
 ScenarioRegistry::ScenarioRegistry() {
   register_scenario({"worst_case",
-                     "paced arrivals ~t/(margin·f) + i.i.d. jamming (E2)", build_worst_case});
-  register_scenario({"batch", "n nodes at slot 1 + i.i.d. jamming (E3/E4/E7)", build_batch});
+                     "paced arrivals ~t/(margin·f) + i.i.d. jamming (E2)", build_worst_case,
+                     {"horizon", "seed", "jam", "arrival_margin"}});
+  register_scenario({"batch", "n nodes at slot 1 + i.i.d. jamming (E3/E4/E7)", build_batch,
+                     {"horizon", "seed", "n", "jam", "g_regime", "gamma"}});
   register_scenario({"smooth",
                      "budget-saturating paced arrivals + paced jamming (E1/Cor 3.6)",
-                     build_smooth});
+                     build_smooth,
+                     {"horizon", "seed", "arrival_margin", "jam_margin", "g_regime", "gamma"}});
   register_scenario({"bernoulli_stream",
-                     "Bernoulli(rate) arrivals + i.i.d. jamming (E7b)", build_bernoulli_stream});
+                     "Bernoulli(rate) arrivals + i.i.d. jamming (E7b)", build_bernoulli_stream,
+                     {"horizon", "seed", "rate", "jam", "g_regime", "gamma"}});
   register_scenario({"bursty",
-                     "bursts of n inside the smooth budget + paced jamming (E9)", build_bursty});
+                     "bursts of n inside the smooth budget + paced jamming (E9)", build_bursty,
+                     {"horizon", "seed", "n", "arrival_margin", "jam_margin", "g_regime",
+                      "gamma"}});
 }
 
 ScenarioRegistry& ScenarioRegistry::instance() {

@@ -82,10 +82,19 @@ struct ScenarioEntry {
   std::string name;
   std::string description;
   ScenarioBuilderFn build;
+  /// The ScenarioParams fields this builder actually consumes (by flag
+  /// name). `cr bench scenario` and the suite validator reject an
+  /// explicitly-passed parameter outside this set — a param one scenario
+  /// ignores must not be a silent no-op in a sweep over scenarios.
+  std::vector<std::string> params;
+
+  bool consumes(const std::string& param) const;
 };
 
 /// Name-keyed scenario registry. Seeded with the five built-in workloads
-/// ("worst_case", "batch", "smooth", "bernoulli_stream", "bursty");
+/// ("worst_case", "batch", "smooth", "bernoulli_stream", "bursty"), each a
+/// thin preset over WorkloadSpec (src/exp/workload.hpp) — byte-identical to
+/// the direct compositions, parity-tested in tests/test_workload.cpp;
 /// register_scenario() is the extension point. Registration is not
 /// thread-safe — register before fanning out runs.
 class ScenarioRegistry {

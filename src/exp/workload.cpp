@@ -1,0 +1,259 @@
+#include "exp/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "adversary/component_registry.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "protocols/baselines.hpp"
+#include "protocols/batch.hpp"
+
+namespace cr {
+
+namespace {
+
+const std::string kArrivalPrefix = "arrival.";
+const std::string kJammerPrefix = "jammer.";
+
+bool has_prefix(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+std::string known_list(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) out += " " + name;
+  return out;
+}
+
+/// Validate one component against its registry entry; empty on success.
+template <typename Registry>
+std::string check_component(const Registry& registry, const ComponentSpec& component,
+                            const std::string& kind) {
+  const auto* entry = registry.find(component.name);
+  if (entry == nullptr) {
+    std::string error = "unknown " + kind + " \"" + component.name + "\"";
+    const std::string hint = closest_match(component.name, registry.names());
+    if (!hint.empty()) error += " (did you mean \"" + hint + "\"?)";
+    return error + "; known " + kind + "s:" + known_list(registry.names());
+  }
+  const auto checked = ParamValidation::check(entry->schema, component.params,
+                                             kind + " \"" + component.name + "\"");
+  return checked.error;
+}
+
+}  // namespace
+
+const std::vector<std::string>& workload_keys() {
+  static const std::vector<std::string> keys = {"arrival", "jammer",  "g",
+                                                "gamma",   "protocol", "horizon"};
+  return keys;
+}
+
+const std::vector<std::string>& workload_protocol_names() {
+  static const std::vector<std::string> names = {"cjz",  "h_backoff", "h_data",
+                                                 "beb",  "sawtooth",  "poly"};
+  return names;
+}
+
+ProtocolSpec workload_protocol(const std::string& name, const FunctionSet& fs) {
+  if (name == "cjz") return cjz_protocol(fs);
+  if (name == "h_backoff")
+    return factory_protocol("h-backoff", [fs] { return backoff_protocol_factory(fs); });
+  if (name == "h_data") return profile_protocol(profiles::h_data());
+  if (name == "beb")
+    return factory_protocol("windowed-beb", [] { return windowed_backoff_factory({}); });
+  if (name == "sawtooth")
+    return factory_protocol("windowed-sawtooth", [] {
+      return windowed_backoff_factory({WindowScheme::kSawtooth, 2.0});
+    });
+  if (name == "poly")
+    return factory_protocol("windowed-poly", [] {
+      return windowed_backoff_factory({WindowScheme::kPolynomial, 2.0});
+    });
+  CR_CHECK(false);  // names are validated upstream
+  return {};
+}
+
+WorkloadParse parse_workload(const std::vector<std::pair<std::string, std::string>>& kvs) {
+  WorkloadParse out;
+  std::set<std::string> seen;
+  auto fail = [&](std::string msg) {
+    out.error = std::move(msg);
+    return out;
+  };
+  auto once = [&](const std::string& key) { return seen.insert(key).second; };
+
+  for (const auto& [key, value] : kvs) {
+    if (key == "arrival" || key == "jammer") {
+      if (!once(key)) return fail("workload key \"" + key + "\" given twice");
+      (key == "arrival" ? out.spec.arrival : out.spec.jammer).name = value;
+    } else if (has_prefix(key, kArrivalPrefix)) {
+      out.spec.arrival.params.emplace_back(key.substr(kArrivalPrefix.size()), value);
+    } else if (has_prefix(key, kJammerPrefix)) {
+      out.spec.jammer.params.emplace_back(key.substr(kJammerPrefix.size()), value);
+    } else if (key == "g") {
+      if (!once(key)) return fail("workload key \"g\" given twice");
+      out.spec.g_regime = value;
+    } else if (key == "gamma") {
+      if (!once(key)) return fail("workload key \"gamma\" given twice");
+      if (!parse_double_text(value, &out.spec.gamma))
+        return fail("workload key \"gamma\" expects a number, got \"" + value + "\"");
+      out.spec.gamma_set = true;
+    } else if (key == "protocol") {
+      if (!once(key)) return fail("workload key \"protocol\" given twice");
+      out.spec.protocol = value;
+    } else if (key == "horizon") {
+      if (!once(key)) return fail("workload key \"horizon\" given twice");
+      std::uint64_t horizon = 0;
+      if (!parse_uint_text(value, &horizon))
+        return fail("workload key \"horizon\" expects a uint, got \"" + value + "\"");
+      out.spec.horizon = static_cast<slot_t>(horizon);
+    } else {
+      // Unknown top-level key: the hard error the whole design exists for.
+      std::string error = "unknown workload key \"" + key + "\"";
+      const std::string hint = closest_match(key, workload_keys());
+      if (!hint.empty()) error += " (did you mean \"" + hint + "\"?)";
+      error += "; workload keys:" + known_list(workload_keys()) +
+               " plus arrival.<param>/jammer.<param> (see cr list)";
+      return fail(std::move(error));
+    }
+  }
+  out.error = validate_workload(out.spec);
+  return out;
+}
+
+std::string validate_workload(const WorkloadSpec& spec) {
+  if (std::string error =
+          check_component(ArrivalRegistry::instance(), spec.arrival, "arrival");
+      !error.empty())
+    return error;
+  if (std::string error = check_component(JammerRegistry::instance(), spec.jammer, "jammer");
+      !error.empty())
+    return error;
+  if (spec.g_regime != "const" && spec.g_regime != "log" && spec.g_regime != "exp_sqrt_log")
+    return "unknown g regime \"" + spec.g_regime + "\"; known: const log exp_sqrt_log";
+  // g=log takes no scale — an explicit gamma would be the silent no-op this
+  // API bans, so it is an error instead.
+  if (spec.gamma_set && spec.g_regime == "log")
+    return "workload key \"gamma\" is not consumed when g=log (the log regime has no scale); "
+           "drop it or pick g=const/exp_sqrt_log";
+  bool protocol_known = false;
+  for (const std::string& name : workload_protocol_names())
+    protocol_known = protocol_known || name == spec.protocol;
+  if (!protocol_known) {
+    std::string error = "unknown protocol \"" + spec.protocol + "\"";
+    const std::string hint = closest_match(spec.protocol, workload_protocol_names());
+    if (!hint.empty()) error += " (did you mean \"" + hint + "\"?)";
+    return error + "; known protocols:" + known_list(workload_protocol_names());
+  }
+  if (spec.horizon < 1) return "workload key \"horizon\" must be >= 1";
+  return "";
+}
+
+std::vector<std::pair<std::string, std::string>> workload_to_flags(const WorkloadSpec& spec) {
+  const WorkloadSpec defaults;
+  std::vector<std::pair<std::string, std::string>> out;
+  out.emplace_back("arrival", spec.arrival.name);
+  for (const auto& [key, value] : spec.arrival.params)
+    out.emplace_back(kArrivalPrefix + key, value);
+  out.emplace_back("jammer", spec.jammer.name);
+  for (const auto& [key, value] : spec.jammer.params)
+    out.emplace_back(kJammerPrefix + key, value);
+  if (spec.g_regime != defaults.g_regime) out.emplace_back("g", spec.g_regime);
+  if (spec.gamma_set) out.emplace_back("gamma", double_param_text(spec.gamma));
+  if (spec.protocol != defaults.protocol) out.emplace_back("protocol", spec.protocol);
+  if (spec.horizon != defaults.horizon)
+    out.emplace_back("horizon", std::to_string(static_cast<std::uint64_t>(spec.horizon)));
+  return out;
+}
+
+Scenario build_workload(const WorkloadSpec& spec) {
+  const std::string error = validate_workload(spec);
+  if (!error.empty()) std::fprintf(stderr, "build_workload: %s\n", error.c_str());
+  CR_CHECK(error.empty());
+
+  Scenario sc;
+  sc.fs = functions_for_regime(spec.g_regime, spec.gamma);
+  const WorkloadContext ctx{sc.fs, spec.horizon, spec.seed};
+
+  const ArrivalEntry& arrival = ArrivalRegistry::instance().at(spec.arrival.name);
+  const auto arrival_params = ParamValidation::check(arrival.schema, spec.arrival.params,
+                                                     "arrival \"" + spec.arrival.name + "\"");
+  const JammerEntry& jammer = JammerRegistry::instance().at(spec.jammer.name);
+  const auto jammer_params = ParamValidation::check(jammer.schema, spec.jammer.params,
+                                                    "jammer \"" + spec.jammer.name + "\"");
+  sc.adversary = std::make_unique<ComposedAdversary>(arrival.make(arrival_params.values, ctx),
+                                                     jammer.make(jammer_params.values, ctx));
+  sc.config.horizon = spec.horizon;
+  sc.config.seed = spec.seed;
+  sc.protocol = workload_protocol(spec.protocol, sc.fs);
+  return sc;
+}
+
+WorkloadSpec scenario_preset_workload(const std::string& scenario, const ScenarioParams& p) {
+  WorkloadSpec w;
+  w.horizon = p.horizon;
+  w.seed = p.seed;
+  const auto iid_or_none = [&] {
+    return p.jam > 0.0
+               ? ComponentSpec{"iid", {{"fraction", double_param_text(p.jam)}}}
+               : ComponentSpec{"none", {}};
+  };
+  const auto regime = [&] {
+    w.g_regime = p.g_regime;
+    // The log regime has no scale; setting gamma there would (rightly) fail
+    // validation, and functions_log_g ignores it anyway.
+    if (p.g_regime != "log") {
+      w.gamma = p.gamma;
+      w.gamma_set = true;
+    }
+  };
+  if (scenario == "worst_case") {
+    // Always const-g (the legacy builder pins functions_constant_g(4.0) so
+    // arrival pacing stays comparable across jam levels).
+    w.arrival = {"paced", {{"margin", double_param_text(p.arrival_margin)}}};
+    w.jammer = iid_or_none();
+    return w;
+  }
+  if (scenario == "batch") {
+    regime();
+    w.arrival = {"batch", {{"n", std::to_string(p.n)}}};
+    w.jammer = iid_or_none();
+    return w;
+  }
+  if (scenario == "smooth") {
+    regime();
+    w.arrival = {"paced", {{"margin", double_param_text(p.arrival_margin)}}};
+    w.jammer = {"budget_paced", {{"margin", double_param_text(p.jam_margin)}}};
+    return w;
+  }
+  if (scenario == "bernoulli_stream") {
+    regime();
+    w.arrival = {"bernoulli", {{"rate", double_param_text(p.rate)}}};
+    w.jammer = iid_or_none();
+    return w;
+  }
+  if (scenario == "bursty") {
+    // Burstiest arrival pattern still inside the smooth budget: batches of n
+    // every ceil(arrival_margin·n·f(horizon)) slots, budget-paced jamming on
+    // top (the E9 latency workload).
+    regime();
+    const FunctionSet fs = functions_for_regime(p.g_regime, p.gamma);
+    const double ft = fs.f(static_cast<double>(p.horizon));
+    const auto period = static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(p.arrival_margin * static_cast<double>(p.n) * ft)));
+    w.arrival = {"bursty",
+                 {{"period", std::to_string(period)}, {"burst", std::to_string(p.n)}}};
+    w.jammer = {"budget_paced", {{"margin", double_param_text(p.jam_margin)}}};
+    return w;
+  }
+  std::fprintf(stderr, "scenario_preset_workload: unknown scenario preset \"%s\"\n",
+               scenario.c_str());
+  CR_CHECK(false);
+  return w;
+}
+
+}  // namespace cr

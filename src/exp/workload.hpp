@@ -1,0 +1,101 @@
+/// \file
+/// WorkloadSpec — the composable workload value type: (arrival process ×
+/// jammer × g regime × protocol) plus the run-level horizon/seed, with every
+/// component resolved by name through the typed ArrivalRegistry /
+/// JammerRegistry (src/adversary/component_registry.hpp).
+///
+/// A WorkloadSpec serializes to and from the flat `key=value` form used by
+/// `cr bench workload` flags and suite-manifest cells:
+///
+///     arrival=bernoulli  arrival.rate=0.2  jammer=iid  jammer.fraction=0.25
+///     g=const  gamma=4  protocol=cjz  horizon=65536
+///
+/// so any (arrival × jammer × g × protocol × engine) combination is runnable
+/// and sweepable from JSON without touching C++. Validation is a hard error
+/// on anything a component does not consume — an unknown top-level key, a
+/// parameter the named component does not declare, or `gamma` under the
+/// g=log regime (which ignores it) all fail with a message naming the
+/// offending key. The five legacy scenario builders are thin presets over
+/// this type (src/exp/scenarios.cpp), parity-tested byte-identical in
+/// tests/test_workload.cpp.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/scenarios.hpp"
+
+namespace cr {
+
+/// One named component with its explicitly-set parameters (raw text, in
+/// application order). Unset parameters take their schema defaults.
+struct ComponentSpec {
+  std::string name = "none";
+  std::vector<std::pair<std::string, std::string>> params;
+
+  bool operator==(const ComponentSpec&) const = default;
+};
+
+/// The full composable workload. Value type: copyable, comparable, cheap.
+struct WorkloadSpec {
+  ComponentSpec arrival;
+  ComponentSpec jammer;
+  std::string g_regime = "const";  ///< "const" | "log" | "exp_sqrt_log"
+  double gamma = 4.0;              ///< const-g value / exp_sqrt_log scale
+  bool gamma_set = false;          ///< gamma was given explicitly
+  std::string protocol = "cjz";    ///< named protocol (workload_protocol_names())
+  slot_t horizon = 1 << 16;
+  std::uint64_t seed = 1;          ///< not part of the flat form (runner-owned)
+
+  bool operator==(const WorkloadSpec&) const = default;
+};
+
+/// Keys understood at the top level of the flat form (component parameters
+/// ride under "arrival."/"jammer." prefixes).
+const std::vector<std::string>& workload_keys();
+
+/// Protocols nameable in a WorkloadSpec ("cjz", the windowed-backoff
+/// baselines, "h_backoff", "h_data").
+const std::vector<std::string>& workload_protocol_names();
+/// Materialise the named protocol on `fs`. CR_CHECKs the name (validated
+/// upstream by parse/validate).
+ProtocolSpec workload_protocol(const std::string& name, const FunctionSet& fs);
+
+struct WorkloadParse {
+  WorkloadSpec spec;
+  std::string error;  ///< empty on success; names the offending key otherwise
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parse AND validate the flat form: unknown keys, unknown component names,
+/// undeclared or ill-typed component parameters, unknown g regime/protocol,
+/// horizon < 1 and gamma-under-g=log are all hard errors. `kvs` is every
+/// workload key in application order (later duplicates are errors).
+WorkloadParse parse_workload(const std::vector<std::pair<std::string, std::string>>& kvs);
+
+/// Semantic re-validation of an already-built spec (what parse_workload ran
+/// after parsing). Empty string = valid.
+std::string validate_workload(const WorkloadSpec& spec);
+
+/// Canonical flat form: component names always, other keys only when they
+/// differ from the defaults. parse_workload(workload_to_flags(s)).spec == s
+/// for every valid spec with the default seed (round-trip test in
+/// tests/test_workload.cpp) — the seed is runner-owned and never part of
+/// the flat form, so it does not survive the trip.
+std::vector<std::pair<std::string, std::string>> workload_to_flags(const WorkloadSpec& spec);
+
+/// Materialise the workload: resolve both components through the registries,
+/// compose them into a ComposedAdversary and attach the named protocol on
+/// the regime's FunctionSet. CR_CHECKs validate_workload(spec) is clean.
+Scenario build_workload(const WorkloadSpec& spec);
+
+/// The WorkloadSpec behind one of the five registered scenario presets
+/// ("worst_case", "batch", "smooth", "bernoulli_stream", "bursty"): the
+/// registered builders are exactly build_workload over this mapping, so any
+/// legacy scenario sweep is also expressible as a workload sweep. CR_CHECKs
+/// the scenario name.
+WorkloadSpec scenario_preset_workload(const std::string& scenario, const ScenarioParams& p);
+
+}  // namespace cr

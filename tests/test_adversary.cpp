@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "adversary/arrivals.hpp"
 #include "adversary/jammers.hpp"
@@ -224,6 +228,122 @@ TEST(ProofAdversaries, Theorem13Budget) {
   // At most t/(2g) + 1 jams (prefix + random; random may collide).
   EXPECT_LE(jams, static_cast<std::uint64_t>(t / (2.0 * 4.0)) + 1);
   EXPECT_GE(jams, static_cast<std::uint64_t>(t / (4.0 * 4.0)));
+}
+
+// --- ComposedAdversary per-component RNG streams ---------------------------
+
+/// Drives `adversary` for `slots` slots over an all-silent history and
+/// returns the injection counts per slot. Fresh Driver per call — each run
+/// sees an identically-seeded adversary stream, like an engine run would.
+std::vector<std::uint64_t> inject_sequence(Adversary& adversary, slot_t slots) {
+  Driver d;
+  std::vector<std::uint64_t> out;
+  out.reserve(slots);
+  for (slot_t s = 1; s <= slots; ++s) {
+    out.push_back(adversary.on_slot(s, d.hist, d.rng).inject);
+    d.advance_silent(s);
+  }
+  return out;
+}
+
+std::vector<bool> jam_sequence(Adversary& adversary, slot_t slots) {
+  Driver d;
+  std::vector<bool> out;
+  out.reserve(slots);
+  for (slot_t s = 1; s <= slots; ++s) {
+    out.push_back(adversary.on_slot(s, d.hist, d.rng).jam);
+    d.advance_silent(s);
+  }
+  return out;
+}
+
+TEST(ComposedAdversaryStreams, SwappingTheJammerDoesNotPerturbArrivals) {
+  // The arrival side draws randomness every slot; the jammer axis varies
+  // from draw-free to draw-heavy. Per-component fork-streams mean the
+  // arrival draw sequence must be identical in every case.
+  const auto with_jammer = [](std::unique_ptr<Jammer> jammer) {
+    ComposedAdversary adv(bernoulli_arrivals(0.3, 1, 4096), std::move(jammer));
+    return inject_sequence(adv, 512);
+  };
+  const auto baseline = with_jammer(no_jam());
+  EXPECT_EQ(with_jammer(iid_jammer(0.5)), baseline);
+  EXPECT_EQ(with_jammer(periodic_jammer(16, 4)), baseline);
+  EXPECT_EQ(with_jammer(budget_paced_jammer(fn::constant(4.0), 8.0)), baseline);
+  EXPECT_EQ(with_jammer(reactive_jammer(fn::constant(4.0), 8.0, 2)), baseline);
+}
+
+TEST(ComposedAdversaryStreams, SwappingTheArrivalsDoesNotPerturbJamming) {
+  const auto with_arrivals = [](std::unique_ptr<ArrivalProcess> arrivals) {
+    ComposedAdversary adv(std::move(arrivals), iid_jammer(0.4));
+    return jam_sequence(adv, 512);
+  };
+  const auto baseline = with_arrivals(no_arrivals());
+  EXPECT_EQ(with_arrivals(bernoulli_arrivals(0.7, 1, 4096)), baseline);
+  EXPECT_EQ(with_arrivals(batch_arrival(64, 1)), baseline);
+  EXPECT_EQ(with_arrivals(bursty_arrivals(32, 8)), baseline);
+}
+
+TEST(ComposedAdversaryStreams, ComponentsDrawIndependentlyOfSharedStream) {
+  // Both components randomized at once: each must see the same sequence it
+  // sees alone (the composition does not interleave their draws).
+  ComposedAdversary composed(bernoulli_arrivals(0.3, 1, 4096), iid_jammer(0.4));
+  ComposedAdversary arrivals_only(bernoulli_arrivals(0.3, 1, 4096), no_jam());
+  ComposedAdversary jammer_only(no_arrivals(), iid_jammer(0.4));
+  Driver d;
+  std::vector<std::uint64_t> injects, injects_alone;
+  std::vector<bool> jams, jams_alone;
+  for (slot_t s = 1; s <= 512; ++s) {
+    const AdversaryAction both = composed.on_slot(s, d.hist, d.rng);
+    injects.push_back(both.inject);
+    jams.push_back(both.jam);
+    d.advance_silent(s);
+  }
+  injects_alone = inject_sequence(arrivals_only, 512);
+  jams_alone = jam_sequence(jammer_only, 512);
+  EXPECT_EQ(injects, injects_alone);
+  EXPECT_EQ(jams, jams_alone);
+}
+
+// --- proof-adversary determinism -------------------------------------------
+
+/// Same construction + same seed + same history ⇒ identical action sequence.
+void expect_deterministic(const std::function<std::unique_ptr<Adversary>()>& make,
+                          slot_t slots) {
+  auto a = make();
+  auto b = make();
+  Driver da, db;
+  for (slot_t s = 1; s <= slots; ++s) {
+    const AdversaryAction act_a = a->on_slot(s, da.hist, da.rng);
+    const AdversaryAction act_b = b->on_slot(s, db.hist, db.rng);
+    ASSERT_EQ(act_a.jam, act_b.jam) << "slot " << s;
+    ASSERT_EQ(act_a.inject, act_b.inject) << "slot " << s;
+    da.advance_silent(s);
+    db.advance_silent(s);
+  }
+}
+
+TEST(ProofAdversaries, Lemma41Deterministic) {
+  const slot_t t = 1 << 10;
+  expect_deterministic(
+      [&] { return lemma41_adversary(t, 0.5, fn::log2p(1.0), 77); }, t);
+  // A different seed must actually change the random-injected placement.
+  auto a = lemma41_adversary(t, 0.5, fn::log2p(1.0), 77);
+  auto b = lemma41_adversary(t, 0.5, fn::log2p(1.0), 78);
+  EXPECT_NE(inject_sequence(*a, t), inject_sequence(*b, t));
+}
+
+TEST(ProofAdversaries, Theorem13Deterministic) {
+  const slot_t t = 1 << 12;
+  expect_deterministic([&] { return theorem13_adversary(t, fn::constant(4.0), 5); }, t);
+  auto a = theorem13_adversary(t, fn::constant(4.0), 5);
+  auto b = theorem13_adversary(t, fn::constant(4.0), 6);
+  EXPECT_NE(jam_sequence(*a, t), jam_sequence(*b, t));
+}
+
+TEST(ProofAdversaries, Theorem42Deterministic) {
+  const slot_t t = 1 << 12;
+  const FunctionSet fs = functions_constant_g(4.0);
+  expect_deterministic([&] { return theorem42_adversary(t, fs); }, t);
 }
 
 TEST(ProofAdversaries, Lemma41InjectionVolume) {

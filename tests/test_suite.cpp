@@ -109,9 +109,11 @@ TEST(SuiteParse, DiagnosesSanitizationCollisionsAsSuch) {
 }
 
 TEST(SuiteExpand, GridTimesSeedsCounts) {
+  // All three presets consume --jam (bursty would fail the consumed-param
+  // validation, by design).
   const auto loaded = parse(R"({"name": "s", "cells": [
       {"bench": "scenario",
-       "grid": {"scenario": ["batch", "worst_case", "bursty"], "jam": [0.0, 0.25]},
+       "grid": {"scenario": ["batch", "worst_case", "bernoulli_stream"], "jam": [0.0, 0.25]},
        "seeds": [1, 2, 3, 4]},
       {"bench": "energy", "grid": {"max_n": [64, 128]}}]})");
   ASSERT_TRUE(loaded.ok()) << loaded.error;
