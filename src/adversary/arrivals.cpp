@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/stream_tags.hpp"
 
 namespace cr {
 
@@ -21,8 +22,8 @@ AdversaryAction ComposedAdversary::on_slot(slot_t slot, const PublicHistory& his
   // unconsumed on the first slot, so both forks are pure functions of the
   // run seed.
   if (!streams_forked_) {
-    arrival_rng_ = rng.fork(0xA0u);
-    jammer_rng_ = rng.fork(0x1Au);
+    arrival_rng_ = rng.fork(streams::kArrival);
+    jammer_rng_ = rng.fork(streams::kJammer);
     streams_forked_ = true;
   }
   AdversaryAction act;

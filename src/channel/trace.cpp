@@ -5,8 +5,9 @@
 namespace cr {
 
 void Trace::record(const SlotOutcome& out) {
-  CR_CHECK(out.slot == slots() + 1);
-  outcomes_.push_back(out);
+  CR_CHECK(out.slot == slots_ + 1);
+  ++slots_;
+  if (storage_ == Storage::kFull) outcomes_.push_back(out);
   if (out.success()) {
     ++total_successes_;
     last_success_slot_ = out.slot;
@@ -15,6 +16,7 @@ void Trace::record(const SlotOutcome& out) {
 }
 
 const SlotOutcome& Trace::outcome(slot_t s) const {
+  CR_CHECK(storage_ == Storage::kFull);
   CR_CHECK(s >= 1 && s <= slots());
   return outcomes_[s - 1];
 }

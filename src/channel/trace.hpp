@@ -16,14 +16,25 @@ namespace cr {
 
 class Trace {
  public:
+  /// Storage policy: kCounting keeps only the running counters (slots,
+  /// successes, jams, last success) and drops per-slot outcomes — what a
+  /// lockstep sweep holding thousands of concurrent replications needs,
+  /// since the registry's composed adversaries consult exactly those
+  /// counters. outcome(s) is unavailable in counting mode (CR_CHECK).
+  enum class Storage : std::uint8_t { kFull = 0, kCounting = 1 };
+
+  Trace() = default;
+  explicit Trace(Storage storage) : storage_(storage) {}
+
   /// Record the outcome of the next slot. Outcomes must arrive in slot order
   /// starting at slot 1.
   void record(const SlotOutcome& out);
 
-  slot_t slots() const { return static_cast<slot_t>(outcomes_.size()); }
-  bool empty() const { return outcomes_.empty(); }
+  slot_t slots() const { return slots_; }
+  bool empty() const { return slots_ == 0; }
+  Storage storage() const { return storage_; }
 
-  /// Ground truth for slot s in [1, slots()].
+  /// Ground truth for slot s in [1, slots()]. Requires Storage::kFull.
   const SlotOutcome& outcome(slot_t s) const;
 
   std::uint64_t total_successes() const { return total_successes_; }
@@ -33,6 +44,8 @@ class Trace {
 
  private:
   std::vector<SlotOutcome> outcomes_;
+  Storage storage_ = Storage::kFull;
+  slot_t slots_ = 0;
   std::uint64_t total_successes_ = 0;
   std::uint64_t total_jammed_ = 0;
   slot_t last_success_slot_ = 0;

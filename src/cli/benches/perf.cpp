@@ -1,0 +1,199 @@
+// P1 "perf" — engine throughput trajectory.
+//
+// Times every engine that can run a scenario against that scenario at fixed
+// seeds and reports slots/sec and runs/sec, plus the lockstep-vs-fast_cjz
+// aggregate speedup per cell (the growth target this subcommand exists to
+// track). Numbers go to the narrative table, the optional --csv, and a JSON
+// snapshot (--json, default BENCH_6.json) that CI archives per commit so
+// throughput regressions show up as a trajectory, not an anecdote.
+//
+//   cr perf                 # full sweep (R=1000 per fast-engine cell)
+//   cr perf --quick         # CI smoke: small horizons, R=64
+//
+// Measurement notes: each (engine, scenario) cell is timed around the same
+// replication entry point the benches use (replicate_scenario), so the
+// numbers include adversary construction and per-run setup — what a real
+// sweep pays. The reference engine runs a reduced rep count (its per-run
+// cost is orders of magnitude higher and runs/sec normalises it out);
+// slots/sec counts simulated slots, so the lockstep engine's analytic tail
+// skip (engine/lockstep.hpp) legitimately counts the slots it proves it can
+// skip.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/benches/benches.hpp"
+#include "common/table.hpp"
+#include "exp/bench_driver.hpp"
+#include "exp/harness.hpp"
+#include "exp/scenarios.hpp"
+#include "exp/workload.hpp"
+
+namespace cr::benches {
+
+namespace {
+
+struct PerfCell {
+  std::string scenario;
+  slot_t horizon = 0;
+};
+
+struct PerfRow {
+  std::string scenario;
+  std::string engine;
+  slot_t horizon = 0;
+  int reps = 0;
+  double seconds = 0.0;
+  double slots_per_sec = 0.0;
+  double runs_per_sec = 0.0;
+  double mean_successes = 0.0;
+  double mean_sends = 0.0;
+};
+
+int run(int argc, const char* const* argv) {
+  const BenchSpec& self = perf();
+  const BenchDriver driver(argc, argv, {self.id, self.summary, self.flags});
+  std::ostream& out = driver.out();
+  const int reps = driver.reps(1000, 64);
+  const std::uint64_t base_seed = driver.seed(70000);
+  const int threads = driver.threads();
+  const std::string json_path = driver.cli().get_string("json", "BENCH_6.json");
+
+  // The paper_repro workload axis: batch cells at two horizons (the large
+  // one is where quiescent tails dominate a scalar sweep), plus the two
+  // always-active workloads where no tail skip is possible — honest
+  // lower-bound cells for the lockstep engine.
+  const std::vector<PerfCell> cells =
+      driver.quick()
+          ? std::vector<PerfCell>{{"batch", slot_t{1} << 14}, {"worst_case", slot_t{1} << 14}}
+          : std::vector<PerfCell>{{"batch", slot_t{1} << 16},
+                                  {"batch", slot_t{1} << 20},
+                                  {"worst_case", slot_t{1} << 16},
+                                  {"bernoulli_stream", slot_t{1} << 16}};
+  const std::vector<std::string> engines = {"generic", "fast_cjz", "lockstep"};
+
+  out << "P1: engine throughput at fixed seeds, " << reps << " reps per fast-engine cell, "
+      << threads << " thread(s)\n\n";
+
+  std::vector<PerfRow> rows;
+  for (const PerfCell& cell : cells) {
+    ScenarioParams params;
+    params.horizon = cell.horizon;
+    for (const std::string& engine_name : engines) {
+      const Engine& engine = EngineRegistry::instance().at(engine_name);
+      // The reference engine is O(nodes) per slot — a handful of runs gives
+      // a stable per-run rate without dominating the wall clock.
+      const int engine_reps = engine_name == "generic" ? std::min(reps, 4) : reps;
+
+      const auto start = std::chrono::steady_clock::now();
+      const auto results = replicate_scenario(engine, cell.scenario, params, engine_reps,
+                                              base_seed, threads);
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+      PerfRow row;
+      row.scenario = cell.scenario;
+      row.engine = engine_name;
+      row.horizon = cell.horizon;
+      row.reps = engine_reps;
+      row.seconds = elapsed.count();
+      double slots = 0.0;
+      row.mean_successes =
+          collect(results, [](const SimResult& r) { return static_cast<double>(r.successes); })
+              .mean();
+      row.mean_sends =
+          collect(results,
+                  [](const SimResult& r) { return static_cast<double>(r.total_sends); })
+              .mean();
+      for (const SimResult& r : results) slots += static_cast<double>(r.slots);
+      row.slots_per_sec = row.seconds > 0.0 ? slots / row.seconds : 0.0;
+      row.runs_per_sec =
+          row.seconds > 0.0 ? static_cast<double>(engine_reps) / row.seconds : 0.0;
+      rows.push_back(row);
+    }
+  }
+
+  Table table({"scenario", "horizon", "engine", "reps", "seconds", "slots/sec", "runs/sec",
+               "successes", "sends"});
+  for (const PerfRow& row : rows)
+    table.add_row({row.scenario, Cell(static_cast<std::uint64_t>(row.horizon)), row.engine,
+                   Cell(static_cast<std::int64_t>(row.reps)), Cell(row.seconds, 3),
+                   Cell(row.slots_per_sec, 0), Cell(row.runs_per_sec, 1),
+                   Cell(row.mean_successes, 1), Cell(row.mean_sends, 1)});
+  table.print(out);
+
+  // Headline: lockstep aggregate throughput over the threaded fast_cjz sweep
+  // of the same cell (both sides used the same --threads).
+  out << "\nlockstep speedup over fast_cjz (aggregate slots/sec, same thread count):\n";
+  for (const PerfCell& cell : cells) {
+    const PerfRow* fast = nullptr;
+    const PerfRow* lockstep = nullptr;
+    for (const PerfRow& row : rows) {
+      if (row.scenario != cell.scenario || row.horizon != cell.horizon) continue;
+      if (row.engine == "fast_cjz") fast = &row;
+      if (row.engine == "lockstep") lockstep = &row;
+    }
+    if (fast == nullptr || lockstep == nullptr || fast->slots_per_sec <= 0.0) continue;
+    out << "  " << cell.scenario << " @ " << static_cast<std::uint64_t>(cell.horizon) << ": "
+        << format_double(lockstep->slots_per_sec / fast->slots_per_sec, 2) << "x\n";
+  }
+
+  const std::string csv_path = driver.csv_path("perf.csv");
+  if (!csv_path.empty()) {
+    std::ofstream file(csv_path);
+    write_table_csv(table, perf().csv_columns, file);
+    out << "\ntable written to " << csv_path << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    json << "{\n  \"bench\": \"perf\",\n  \"quick\": " << (driver.quick() ? "true" : "false")
+         << ",\n  \"threads\": " << threads << ",\n  \"reps\": " << reps
+         << ",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const PerfRow& row = rows[i];
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"scenario\": \"%s\", \"horizon\": %llu, \"engine\": \"%s\", "
+                    "\"reps\": %d, \"seconds\": %.6f, \"slots_per_sec\": %.1f, "
+                    "\"runs_per_sec\": %.3f, \"mean_successes\": %.2f, \"mean_sends\": %.2f}",
+                    row.scenario.c_str(),
+                    static_cast<unsigned long long>(row.horizon), row.engine.c_str(),
+                    row.reps, row.seconds, row.slots_per_sec, row.runs_per_sec,
+                    row.mean_successes, row.mean_sends);
+      json << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    json << "  ]\n}\n";
+    out << "\nperf snapshot written to " << json_path << "\n";
+  }
+
+  out << "\nReading: slots/sec counts simulated slots (the lockstep engine's analytic\n"
+         "tail skip counts the slots it certifies away); runs/sec is the end-to-end\n"
+         "replication rate a sweep observes. Compare rows within a scenario cell.\n";
+  return 0;
+}
+
+}  // namespace
+
+BenchSpec perf() {
+  BenchSpec spec;
+  spec.name = "perf";
+  spec.id = "P1";
+  spec.summary = "engine throughput per scenario (slots/sec, runs/sec, lockstep speedup)";
+  spec.claim = "— (performance trajectory, not a paper claim)";
+  spec.outcome =
+      "per (scenario × engine) timing rows plus the lockstep-vs-fast_cjz aggregate "
+      "speedup; JSON snapshot for CI trend tracking";
+  spec.flags = {
+      {"json", "JSON snapshot path (default BENCH_6.json; empty string disables)"},
+  };
+  spec.csv_columns = {"scenario", "horizon", "engine", "reps", "seconds",
+                      "slots_per_sec", "runs_per_sec", "successes", "sends"};
+  spec.csv_row_desc = "one row per (scenario × engine) timing cell";
+  spec.run = run;
+  return spec;
+}
+
+}  // namespace cr::benches

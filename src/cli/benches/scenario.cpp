@@ -18,6 +18,7 @@
 #include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
+#include "exp/workload.hpp"
 
 namespace cr::benches {
 
@@ -139,12 +140,19 @@ int run(int argc, const char* const* argv) {
   out << "S1: scenario \"" << scenario_name << "\" at one parameter point, engine "
       << engine_used << ", means over " << reps << " seeds\n\n";
 
-  const auto results = driver.replicate(reps, driver.seed(50000), [&](std::uint64_t s) {
-    ScenarioParams p = params;
-    p.seed = s;
-    Scenario sc = ScenarioRegistry::instance().build(scenario_name, p);
-    return run_scenario(engine, sc);
-  });
+  // The lockstep engine replicates through the many-seed sweep path (one
+  // lockstep pass over all seeds, quiescent tails skipped analytically);
+  // scalar engines keep the classic one-run-per-seed harness loop.
+  const auto results =
+      engine_used == "lockstep"
+          ? replicate_scenario(engine, scenario_name, params, reps, driver.seed(50000),
+                               driver.threads())
+          : driver.replicate(reps, driver.seed(50000), [&](std::uint64_t s) {
+              ScenarioParams p = params;
+              p.seed = s;
+              Scenario sc = ScenarioRegistry::instance().build(scenario_name, p);
+              return run_scenario(engine, sc);
+            });
 
   const auto slots =
       collect(results, [](const SimResult& r) { return static_cast<double>(r.slots); });

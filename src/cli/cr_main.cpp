@@ -2,6 +2,8 @@
 //
 //   cr list [--md]                     registry listing / docs/EXPERIMENTS.md
 //   cr bench <name> [flags…]           one experiment (cr bench <name> --help)
+//   cr perf [flags…]                   engine throughput snapshot (alias for
+//                                      `cr bench perf`)
 //   cr suite run <manifest> [flags…]   manifest-driven grid of cells
 //   cr suite expand <manifest> […]     print the cell plan, run nothing
 //   cr help                            this text
@@ -32,6 +34,8 @@ int usage(int exit_code) {
                "                                      (--md: emit docs/EXPERIMENTS.md)\n"
                "  cr bench <name> [flags...]          run one experiment\n"
                "                                      (cr bench <name> --help for flags)\n"
+               "  cr perf [flags...]                  engine throughput snapshot\n"
+               "                                      (alias for cr bench perf)\n"
                "  cr suite run <manifest> [flags...]  run a suite manifest\n"
                "      --out=DIR      override the manifest's output_dir\n"
                "      --quick        append --quick to every cell\n"
@@ -137,6 +141,10 @@ int main(int argc, char** argv) {
     }
     const std::vector<std::string> args(argv + 3, argv + argc);
     return cr::BenchRegistry::instance().run(argv[2], args);
+  }
+  if (cmd == "perf") {
+    const std::vector<std::string> args(argv + 2, argv + argc);
+    return cr::BenchRegistry::instance().run("perf", args);
   }
   if (cmd == "suite") {
     if (argc < 3 || (std::string(argv[2]) != "run" && std::string(argv[2]) != "expand")) {

@@ -1,9 +1,5 @@
 #include "common/rng.hpp"
 
-#include <cmath>
-
-#include "common/check.hpp"
-
 namespace cr {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -26,10 +22,7 @@ void Rng::reseed(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-Rng Rng::fork(std::uint64_t tag) const {
-  std::uint64_t sm = seed_ ^ (tag * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
-  return Rng(splitmix64(sm));
-}
+Rng Rng::fork(std::uint64_t tag) const { return Rng(rng_detail::fork_seed(seed_, tag)); }
 
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
@@ -43,103 +36,47 @@ std::uint64_t Rng::next_u64() {
   return result;
 }
 
-double Rng::uniform01() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
+// The distribution methods delegate to the rng_detail templates (shared with
+// CounterRng::Stream); the sequences are bit-identical to the pre-template
+// implementations because the templates are those implementations, moved.
 
-std::uint64_t Rng::uniform_u64(std::uint64_t n) {
-  CR_DCHECK(n > 0);
-  // Lemire-style rejection for unbiased bounded integers.
-  std::uint64_t x = next_u64();
-  __uint128_t m = static_cast<__uint128_t>(x) * n;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < n) {
-    const std::uint64_t threshold = (0 - n) % n;
-    while (lo < threshold) {
-      x = next_u64();
-      m = static_cast<__uint128_t>(x) * n;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
+double Rng::uniform01() { return rng_detail::uniform01(*this); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) { return rng_detail::uniform_u64(*this, n); }
 
 std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
-  CR_DCHECK(lo <= hi);
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  // span == 0 means the full 64-bit range [lo, hi]; fall back to raw bits.
-  if (span == 0) return static_cast<std::int64_t>(next_u64());
-  return lo + static_cast<std::int64_t>(uniform_u64(span));
+  return rng_detail::uniform_range(*this, lo, hi);
 }
 
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform01() < p;
-}
+bool Rng::bernoulli(double p) { return rng_detail::bernoulli(*this, p); }
 
 std::uint64_t Rng::binomial(std::uint64_t n, double p) {
-  if (n == 0 || p <= 0.0) return 0;
-  if (p >= 1.0) return n;
-  // Exploit symmetry so the mean used below is at most n/2.
-  if (p > 0.5) return n - binomial(n, 1.0 - p);
-
-  const double mean = static_cast<double>(n) * p;
-
-  if (n <= 64) {
-    std::uint64_t hits = 0;
-    for (std::uint64_t i = 0; i < n; ++i) hits += bernoulli(p) ? 1 : 0;
-    return hits;
-  }
-
-  if (mean <= kInversionMeanCutoff) {
-    // BINV: sequential CDF inversion. Expected work O(mean).
-    const double q = 1.0 - p;
-    const double s = p / q;
-    double f = std::pow(q, static_cast<double>(n));  // P[X = 0]
-    if (f <= 0.0) {
-      // Underflow can only happen when mean is huge, excluded by the cutoff,
-      // or n astronomically large with tiny p; fall through to normal approx.
-    } else {
-      double u = uniform01();
-      std::uint64_t k = 0;
-      double a = static_cast<double>(n);
-      while (u > f) {
-        u -= f;
-        ++k;
-        if (k > n) return n;  // numerical tail guard
-        f *= s * (a - static_cast<double>(k) + 1.0) / static_cast<double>(k);
-        if (f <= 0.0) break;  // deep tail: probabilities vanish
-      }
-      return k;
-    }
-  }
-
-  // Normal approximation with continuity correction, clamped to [0, n].
-  const double sd = std::sqrt(mean * (1.0 - p));
-  const double x = std::floor(mean + sd * normal01() + 0.5);
-  if (x < 0.0) return 0;
-  if (x > static_cast<double>(n)) return n;
-  return static_cast<std::uint64_t>(x);
+  return rng_detail::binomial(*this, n, p);
 }
 
-std::uint64_t Rng::geometric(double p) {
-  CR_DCHECK(p > 0.0 && p <= 1.0);
-  if (p >= 1.0) return 0;
-  const double u = 1.0 - uniform01();  // in (0, 1]
-  const double g = std::floor(std::log(u) / std::log1p(-p));
-  if (g < 0.0) return 0;
-  return static_cast<std::uint64_t>(g);
-}
+std::uint64_t Rng::geometric(double p) { return rng_detail::geometric(*this, p); }
 
-double Rng::normal01() {
-  // Box–Muller; draws fresh uniforms each call (no cached spare, keeps the
-  // generator state a pure function of the number of calls made).
-  double u1 = uniform01();
-  while (u1 <= 0.0) u1 = uniform01();
-  const double u2 = uniform01();
-  const double two_pi = 6.283185307179586476925286766559;
-  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+double Rng::normal01() { return rng_detail::normal01(*this); }
+
+// --- CounterRng ------------------------------------------------------------
+
+CounterRng::Block CounterRng::block(std::uint64_t blk, std::uint64_t hi) const {
+  // Philox2x64-10 (Salmon et al., "Parallel random numbers: as easy as
+  // 1, 2, 3"): ten rounds of multiply-hi/lo mixing with a Weyl key schedule.
+  constexpr std::uint64_t kMult = 0xD2B74407B1CE6E93ULL;
+  constexpr std::uint64_t kWeyl = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t x0 = blk;
+  std::uint64_t x1 = hi;
+  std::uint64_t k = key_;
+  for (int round = 0; round < 10; ++round) {
+    const __uint128_t prod = static_cast<__uint128_t>(kMult) * x0;
+    const auto prod_hi = static_cast<std::uint64_t>(prod >> 64);
+    const auto prod_lo = static_cast<std::uint64_t>(prod);
+    x0 = prod_hi ^ k ^ x1;
+    x1 = prod_lo;
+    k += kWeyl;
+  }
+  return {x0, x1};
 }
 
 }  // namespace cr

@@ -1,10 +1,21 @@
 // Deterministic random-number substrate.
 //
-// All randomness in the library flows through cr::Rng so that every run is
-// reproducible from a single 64-bit seed. The generator is xoshiro256**
-// (public-domain algorithm by Blackman & Vigna) seeded via splitmix64, which
-// guarantees well-distributed state even for adjacent seeds — important
-// because experiment replications use seeds {base, base+1, ...}.
+// All randomness in the library flows through this header so that every run
+// is reproducible from a single 64-bit seed. Two substrates share one set of
+// distribution algorithms (rng_detail below) and one stream-tag registry
+// (common/stream_tags.hpp):
+//
+//   * cr::Rng — sequential xoshiro256** (public-domain algorithm by Blackman
+//     & Vigna) seeded via splitmix64. The default for every engine: state
+//     advances draw by draw, so the i-th value depends on the i-1 before it.
+//   * cr::CounterRng — counter-based (Philox-style 2x64 block cipher). Any
+//     (seed, stream-tag, hi-counter, draw-index) value is a pure function of
+//     those four numbers, computable independently and out of order — which
+//     is what lets the lockstep engine give every (replication, slot) its
+//     own stream without storing any generator state per replication.
+//
+// Both substrates derive sub-streams with the same fork(tag) seed
+// arithmetic, so a (seed, tag) pair names the same logical stream on either.
 //
 // Beyond uniform bits the substrate provides the exact distributions the
 // simulators need:
@@ -18,15 +29,142 @@
 // relative error is negligible for simulation purposes (documented below).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
+
+#include "common/check.hpp"
 
 namespace cr {
 
 /// splitmix64 step; used for seeding and hashing.
 std::uint64_t splitmix64(std::uint64_t& state);
 
-/// Deterministic PRNG. Satisfies UniformRandomBitGenerator.
+namespace rng_detail {
+
+/// Shared fork arithmetic: the seed of the stream `tag` derived from `seed`.
+/// Both substrates use this, so forked streams line up across them.
+inline std::uint64_t fork_seed(std::uint64_t seed, std::uint64_t tag) {
+  std::uint64_t sm = seed ^ (tag * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  return splitmix64(sm);
+}
+
+// The distribution algorithms, templated over any UniformRandomBitGenerator
+// G producing full 64-bit words. Rng's methods delegate here (bit-identical
+// to the pre-template implementations), and CounterRng::Stream reuses them,
+// so both substrates sample every distribution with the same arithmetic.
+
+inline constexpr double kInversionMeanCutoff = 32.0;
+
+template <typename G>
+double uniform01(G& g) {
+  return static_cast<double>(g() >> 11) * 0x1.0p-53;
+}
+
+template <typename G>
+std::uint64_t uniform_u64(G& g, std::uint64_t n) {
+  CR_DCHECK(n > 0);
+  // Lemire-style rejection for unbiased bounded integers.
+  std::uint64_t x = g();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = g();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+template <typename G>
+std::int64_t uniform_range(G& g, std::int64_t lo, std::int64_t hi) {
+  CR_DCHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [lo, hi]; fall back to raw bits.
+  if (span == 0) return static_cast<std::int64_t>(g());
+  return lo + static_cast<std::int64_t>(uniform_u64(g, span));
+}
+
+template <typename G>
+bool bernoulli(G& g, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01(g) < p;
+}
+
+template <typename G>
+double normal01(G& g) {
+  // Box–Muller; draws fresh uniforms each call (no cached spare, keeps the
+  // generator state a pure function of the number of calls made).
+  double u1 = uniform01(g);
+  while (u1 <= 0.0) u1 = uniform01(g);
+  const double u2 = uniform01(g);
+  const double two_pi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+template <typename G>
+std::uint64_t binomial(G& g, std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Exploit symmetry so the mean used below is at most n/2.
+  if (p > 0.5) return n - binomial(g, n, 1.0 - p);
+
+  const double mean = static_cast<double>(n) * p;
+
+  if (n <= 64) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < n; ++i) hits += bernoulli(g, p) ? 1 : 0;
+    return hits;
+  }
+
+  if (mean <= kInversionMeanCutoff) {
+    // BINV: sequential CDF inversion. Expected work O(mean).
+    const double q = 1.0 - p;
+    const double s = p / q;
+    double f = std::pow(q, static_cast<double>(n));  // P[X = 0]
+    if (f <= 0.0) {
+      // Underflow can only happen when mean is huge, excluded by the cutoff,
+      // or n astronomically large with tiny p; fall through to normal approx.
+    } else {
+      double u = uniform01(g);
+      std::uint64_t k = 0;
+      double a = static_cast<double>(n);
+      while (u > f) {
+        u -= f;
+        ++k;
+        if (k > n) return n;  // numerical tail guard
+        f *= s * (a - static_cast<double>(k) + 1.0) / static_cast<double>(k);
+        if (f <= 0.0) break;  // deep tail: probabilities vanish
+      }
+      return k;
+    }
+  }
+
+  // Normal approximation with continuity correction, clamped to [0, n].
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double x = std::floor(mean + sd * normal01(g) + 0.5);
+  if (x < 0.0) return 0;
+  if (x > static_cast<double>(n)) return n;
+  return static_cast<std::uint64_t>(x);
+}
+
+template <typename G>
+std::uint64_t geometric(G& g, double p) {
+  CR_DCHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const double u = 1.0 - uniform01(g);  // in (0, 1]
+  const double v = std::floor(std::log(u) / std::log1p(-p));
+  if (v < 0.0) return 0;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace rng_detail
+
+/// Deterministic sequential PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -77,10 +215,103 @@ class Rng {
   std::uint64_t seed() const { return seed_; }
 
  private:
-  static constexpr double kInversionMeanCutoff = 32.0;
-
   std::uint64_t s_[4];
   std::uint64_t seed_;
+};
+
+/// Counter-based PRNG (Philox2x64-10-style block cipher).
+///
+/// A CounterRng is a pure value: a 64-bit key derived from (seed, fork
+/// chain) with the same arithmetic Rng::fork uses. The random word at
+/// counter position (hi, index) is
+///
+///     at(hi, index) = word[index & 1] of Philox(key, block = index >> 1, hi)
+///
+/// — no state advances, so any draw is computable without generating its
+/// predecessors. stream(hi) binds the hi counter (the lockstep engine uses
+/// the slot number) and hands back a sequential cursor over index = 0, 1,
+/// ... that offers the same distribution methods as Rng; its draw sequence
+/// equals {at(hi, 0), at(hi, 1), ...} by construction (asserted in
+/// tests/test_rng.cpp).
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : key_(seed) {}
+
+  /// Derive an independent stream — same seed arithmetic as Rng::fork, so
+  /// (seed, tag) names the same logical stream on both substrates.
+  CounterRng fork(std::uint64_t tag) const {
+    return CounterRng(rng_detail::fork_seed(key_, tag));
+  }
+
+  /// The 128-bit Philox output block at (block, hi): two 64-bit words.
+  struct Block {
+    std::uint64_t w0 = 0;
+    std::uint64_t w1 = 0;
+  };
+  Block block(std::uint64_t blk, std::uint64_t hi) const;
+
+  /// The index-th 64-bit word of the (key, hi) stream — order-independent.
+  std::uint64_t at(std::uint64_t hi, std::uint64_t index) const {
+    const Block b = block(index >> 1, hi);
+    return (index & 1) ? b.w1 : b.w0;
+  }
+
+  /// Sequential cursor over one (key, hi) stream. Satisfies
+  /// UniformRandomBitGenerator; the distribution methods delegate to the
+  /// same rng_detail templates Rng uses, so e.g. stream.binomial(n, p)
+  /// consumes the stream exactly like Rng::binomial consumes xoshiro.
+  class Stream {
+   public:
+    using result_type = std::uint64_t;
+
+    Stream() = default;
+    Stream(const CounterRng& owner, std::uint64_t hi) : key_(owner.key_), hi_(hi) {}
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    result_type operator()() {
+      // One Philox block yields two words; cache the second so sequential
+      // draws cost one block evaluation per two words.
+      if ((index_ & 1) == 0) {
+        const Block b = CounterRng(key_).block(index_ >> 1, hi_);
+        spare_ = b.w1;
+        ++index_;
+        return b.w0;
+      }
+      ++index_;
+      return spare_;
+    }
+
+    double uniform01() { return rng_detail::uniform01(*this); }
+    std::uint64_t uniform_u64(std::uint64_t n) { return rng_detail::uniform_u64(*this, n); }
+    std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+      return rng_detail::uniform_range(*this, lo, hi);
+    }
+    bool bernoulli(double p) { return rng_detail::bernoulli(*this, p); }
+    std::uint64_t binomial(std::uint64_t n, double p) {
+      return rng_detail::binomial(*this, n, p);
+    }
+    std::uint64_t geometric(double p) { return rng_detail::geometric(*this, p); }
+    double normal01() { return rng_detail::normal01(*this); }
+
+    /// Number of 64-bit words consumed so far (== the next draw index).
+    std::uint64_t index() const { return index_; }
+
+   private:
+    std::uint64_t key_ = 0;
+    std::uint64_t hi_ = 0;
+    std::uint64_t index_ = 0;
+    std::uint64_t spare_ = 0;
+  };
+
+  Stream stream(std::uint64_t hi) const { return Stream(*this, hi); }
+
+  /// The key (derived seed) identifying this stream family.
+  std::uint64_t key() const { return key_; }
+
+ private:
+  std::uint64_t key_;
 };
 
 }  // namespace cr

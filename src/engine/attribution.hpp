@@ -31,9 +31,10 @@ struct SubsetScratch {
 
 /// Invoke `visit(i)` for each index of a uniformly random c-subset of
 /// [0, m). Requires c <= m. Visit order is unspecified but deterministic for
-/// a given RNG state.
-template <typename Visit>
-void visit_uniform_subset(std::uint64_t m, std::uint64_t c, Rng& rng, SubsetScratch& scratch,
+/// a given RNG state. `rng` is any generator with uniform_u64 (Rng or a
+/// CounterRng::Stream — the two engine substrates).
+template <typename G, typename Visit>
+void visit_uniform_subset(std::uint64_t m, std::uint64_t c, G& rng, SubsetScratch& scratch,
                           Visit&& visit) {
   if (c == 0) return;
   if (c >= m) {

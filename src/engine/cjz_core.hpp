@@ -1,0 +1,374 @@
+/// \file
+/// CJZ cohort engine core, templated over the RNG-stream policy.
+///
+/// The cohort/calendar simulation of the CJZ algorithm (see
+/// engine/fast_cjz.hpp for the two structural facts it exploits) is written
+/// once here and instantiated per randomness substrate:
+///
+///   * SequentialCjzStreams — the classic substrate: one xoshiro256** main
+///     stream and one attribution stream, each advancing draw by draw.
+///     FastCjzSimulator wraps CjzCore<SequentialCjzStreams>; its draw
+///     sequences are bit-identical to the pre-refactor engine.
+///   * CounterCjzStreams — the lockstep substrate: Philox counter streams
+///     keyed by (seed, tag) with the slot number as the hi counter, so every
+///     slot's draws are a pure function of (seed, slot, draw-index) and no
+///     generator state lives between slots. This is what lets one lockstep
+///     pass advance thousands of replications per slot and skip quiescent
+///     tails without replaying them.
+///
+/// The core is slot-callable: the driver owns the adversary interaction and
+/// calls step(slot, action) once per slot (in order, starting at 1), then
+/// finish(). This split is what the lockstep engine needs — it interleaves
+/// step() calls of many replications inside one slot loop — while the scalar
+/// engines keep their simple run() loop.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "channel/trace.hpp"
+#include "common/check.hpp"
+#include "common/functions.hpp"
+#include "common/rng.hpp"
+#include "common/stream_tags.hpp"
+#include "engine/attribution.hpp"
+#include "engine/calendar.hpp"
+#include "engine/sim_result.hpp"
+#include "protocols/cjz_node.hpp"
+
+namespace cr {
+
+/// Sequential stream policy: forked xoshiro streams, shared across slots.
+struct SequentialCjzStreams {
+  Rng main_rng;
+  Rng attr_rng;
+
+  /// `root` is the run's seed Rng; forks are pure (root is not consumed).
+  explicit SequentialCjzStreams(const Rng& root)
+      : main_rng(root.fork(streams::kCjzMain)), attr_rng(root.fork(streams::kAttribution)) {}
+
+  void begin_slot(slot_t) {}
+  Rng& main() { return main_rng; }
+  Rng& attr() { return attr_rng; }
+};
+
+/// Counter stream policy: per-slot Philox streams; any slot's draws are
+/// computable without the slots before it.
+struct CounterCjzStreams {
+  CounterRng main_base;
+  CounterRng attr_base;
+  CounterRng::Stream main_stream;
+  CounterRng::Stream attr_stream;
+
+  explicit CounterCjzStreams(std::uint64_t seed)
+      : main_base(CounterRng(seed).fork(streams::kCjzMain)),
+        attr_base(CounterRng(seed).fork(streams::kAttribution)) {}
+
+  void begin_slot(slot_t slot) {
+    main_stream = main_base.stream(slot);
+    attr_stream = attr_base.stream(slot);
+  }
+  CounterRng::Stream& main() { return main_stream; }
+  CounterRng::Stream& attr() { return attr_stream; }
+};
+
+/// One CJZ run's state and per-slot transition. One instance per run.
+template <typename Streams>
+class CjzCore {
+ public:
+  /// `fs` must outlive the core (owned by the caller).
+  CjzCore(const FunctionSet* fs, const SimConfig& config, CjzOptions options, Streams streams,
+          Trace::Storage trace_storage = Trace::Storage::kFull)
+      : fs_(fs),
+        config_(config),
+        options_(options),
+        streams_(std::move(streams)),
+        trace_(trace_storage) {}
+
+  /// Advance one slot (slots arrive in order starting at 1, every slot the
+  /// driver simulates). Returns true when a stop condition tripped — the
+  /// driver must not step further and should call finish().
+  bool step(slot_t slot, const AdversaryAction& action, SlotObserver* observer) {
+    streams_.begin_slot(slot);
+    auto& rng = streams_.main();
+
+    for (std::uint64_t i = 0; i < action.inject; ++i) {
+      Node n;
+      n.id = static_cast<node_id>(nodes_.size());
+      n.arrival = slot;
+      n.phase = 1;
+      n.channel = static_cast<std::uint8_t>(parity_channel(slot));
+      n.from = slot;
+      nodes_.push_back(n);
+      const auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
+      p1_nodes_.push_back(idx);
+      begin_stage(idx, 0, rng);
+      ++live_;
+    }
+    result_.arrivals += action.inject;
+    CR_CHECK(live_ <= config_.max_live_nodes);
+
+    const std::uint64_t live_now = live_;
+    if (live_now > 0) ++result_.active_slots;
+
+    // Gather backoff senders due this slot.
+    backoff_senders_.clear();
+    while (auto ev = calendar_.pop_due(slot)) {
+      Node& n = nodes_[ev->node];
+      if (!n.alive || n.gen != ev->gen) continue;
+      if (ev->kind == CalendarEvent::Kind::kStageBegin) {
+        begin_stage(ev->node, n.stage + 1, rng);
+      } else {
+        backoff_senders_.push_back(ev->node);
+        ++n.sends;
+      }
+    }
+
+    // Cohort binomial draws.
+    std::uint64_t senders = backoff_senders_.size();
+    cohort_draws_.clear();
+    for (std::size_t ci = 0; ci < cohorts_.size(); ++ci) {
+      Cohort& cohort = cohorts_[ci];
+      const auto m = static_cast<std::uint64_t>(cohort.members.size());
+      if (m == 0) continue;
+      CR_DCHECK(slot > cohort.l3);
+      const int sp = parity_channel(slot);
+      const double p = cjz_batch_prob(*fs_, cohort.l3, sp, sp == cohort.ctrl_parity, slot);
+      const std::uint64_t c = rng.binomial(m, p);
+      if (c > 0) {
+        senders += c;
+        cohort_draws_.emplace_back(ci, c);
+      }
+    }
+    result_.total_sends += senders;
+
+    // Resolve.
+    std::uint32_t winner_idx = 0;
+    node_id winner = kNoNode;
+    bool cohort_winner = false;
+    if (senders == 1 && !action.jam) {
+      if (!backoff_senders_.empty()) {
+        winner_idx = backoff_senders_.front();
+      } else {
+        Cohort& cohort = cohorts_[cohort_draws_.front().first];
+        const std::uint64_t pos = rng.uniform_u64(cohort.members.size());
+        winner_idx = cohort.members[pos];
+        cohort.members[pos] = cohort.members.back();
+        cohort.members.pop_back();
+        cohort_winner = true;
+      }
+      winner = nodes_[winner_idx].id;
+    }
+
+    const SlotOutcome out = resolve_slot(slot, senders, action.jam, winner);
+    trace_.record(out);
+    if (config_.recording.wants_trace()) result_.slot_outcomes.push_back(out);
+    if (out.jammed) ++result_.jammed_slots;
+    if (observer != nullptr) observer->on_slot(out, action.inject, live_now);
+
+    if (config_.recording.wants_node_stats()) {
+      // Charge each cohort's binomial count to concrete members. A winning
+      // cohort draw (c == 1, the member already popped above) is charged to
+      // the winner directly; backoff sends were counted at the calendar.
+      for (std::size_t di = 0; di < cohort_draws_.size(); ++di) {
+        if (cohort_winner && di == 0) continue;
+        attribute_cohort_sends(cohorts_[cohort_draws_[di].first], cohort_draws_[di].second,
+                               streams_.attr());
+      }
+      if (cohort_winner) ++nodes_[winner_idx].sends;
+    }
+
+    if (out.success()) {
+      ++result_.successes;
+      if (result_.first_success == 0) result_.first_success = slot;
+      result_.last_success = slot;
+      if (config_.recording.wants_success_times()) result_.success_times.push_back(slot);
+
+      Node& w = nodes_[winner_idx];
+      w.alive = false;
+      ++w.gen;
+      --live_;
+      if (config_.recording.wants_node_stats()) {
+        NodeStats ns;
+        ns.id = w.id;
+        ns.arrival = w.arrival;
+        ns.departure = slot;
+        ns.sends = w.sends;
+        result_.node_stats.push_back(ns);
+      }
+
+      handle_success(slot, rng);
+    }
+
+    result_.slots = slot;
+    if (config_.stop_when_empty && result_.arrivals > 0 && live_ == 0) return true;
+    if (config_.stop_after_first_success && result_.successes > 0) return true;
+    return false;
+  }
+
+  /// Seal the run: backlog, stranded node stats, observer end hook. Call
+  /// exactly once, after the last step().
+  SimResult finish(SlotObserver* observer) {
+    result_.live_at_end = live_;
+    if (config_.recording.wants_node_stats()) {
+      for (const auto& n : nodes_) {
+        if (!n.alive) continue;
+        NodeStats ns;
+        ns.id = n.id;
+        ns.arrival = n.arrival;
+        ns.departure = 0;
+        ns.sends = n.sends;
+        result_.node_stats.push_back(ns);
+      }
+    }
+    if (observer != nullptr) observer->on_run_end(result_);
+    return std::move(result_);
+  }
+
+  std::uint64_t live() const { return live_; }
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+  /// Counters accumulated so far (valid between steps; finish() moves them).
+  const SimResult& partial_result() const { return result_; }
+
+ private:
+  struct Node {
+    node_id id = kNoNode;
+    slot_t arrival = 0;
+    slot_t from = 0;      ///< backoff channel-origin (phases 1–2)
+    std::uint64_t sends = 0;  ///< attributed channel accesses (energy)
+    std::uint64_t stage = 0;
+    std::uint32_t gen = 0;
+    std::uint8_t phase = 1;
+    std::uint8_t channel = 0;  ///< backoff channel parity (phases 1–2)
+    bool alive = true;
+  };
+
+  struct Cohort {
+    slot_t l3 = 0;
+    int ctrl_parity = 0;
+    std::vector<std::uint32_t> members;
+  };
+
+  void begin_stage(std::uint32_t idx, std::uint64_t k, auto& rng) {
+    Node& n = nodes_[idx];
+    n.stage = k;
+    const std::uint64_t len = static_cast<std::uint64_t>(1) << k;
+    const std::uint64_t vstart = len - 1;
+
+    const unsigned sends = fs_->backoff_sends(len);
+    offsets_scratch_.clear();
+    for (unsigned i = 0; i < sends; ++i) offsets_scratch_.push_back(rng.uniform_u64(len));
+    std::sort(offsets_scratch_.begin(), offsets_scratch_.end());
+    offsets_scratch_.erase(std::unique(offsets_scratch_.begin(), offsets_scratch_.end()),
+                           offsets_scratch_.end());
+    for (const std::uint64_t off : offsets_scratch_) {
+      const slot_t abs = n.from + 2 * (vstart + off);
+      if (abs <= config_.horizon)
+        calendar_.push({abs, CalendarEvent::Kind::kSend, idx, n.gen});
+    }
+    const slot_t next_begin = n.from + 2 * ((len << 1) - 1);
+    if (next_begin <= config_.horizon)
+      calendar_.push({next_begin, CalendarEvent::Kind::kStageBegin, idx, n.gen});
+  }
+
+  void handle_success(slot_t slot, auto& rng) {
+    const int sp = parity_channel(slot);
+
+    // Start the new cohort from the largest merging population (moved, not
+    // copied) — under heavy overload cohorts hold hundreds of thousands of
+    // members and per-success copies would dominate the run time.
+    std::vector<std::uint32_t>* largest = nullptr;
+    for (auto& cohort : cohorts_) {
+      if (cohort.ctrl_parity != sp || cohort.members.empty()) continue;
+      if (largest == nullptr || cohort.members.size() > largest->size())
+        largest = &cohort.members;
+    }
+    std::vector<std::uint32_t> joiners;
+    if (largest != nullptr) joiners = std::move(*largest);
+    for (auto& cohort : cohorts_) {
+      if (cohort.ctrl_parity != sp || cohort.members.empty()) continue;
+      if (&cohort.members == largest) continue;
+      joiners.insert(joiners.end(), cohort.members.begin(), cohort.members.end());
+      cohort.members.clear();
+    }
+    if (largest != nullptr) largest->clear();
+    std::erase_if(cohorts_, [](const Cohort& c) { return c.members.empty(); });
+
+    // Phase 1: every Phase-1 node heard this success. Paper behaviour: move
+    // to Phase 2 on the other channel. Ablation (use_phase2 == false): join
+    // the fresh Phase-3 cohort directly.
+    for (const std::uint32_t idx : p1_nodes_) {
+      Node& n = nodes_[idx];
+      if (!n.alive || n.phase != 1) continue;
+      ++n.gen;  // invalidate pending Phase-1 calendar events
+      if (options_.use_phase2) {
+        n.phase = 2;
+        n.channel = static_cast<std::uint8_t>(1 - sp);
+        n.from = slot + 1;
+        p2_nodes_[1 - sp].push_back(idx);
+        begin_stage(idx, 0, rng);
+      } else {
+        n.phase = 3;
+        joiners.push_back(idx);
+      }
+    }
+    p1_nodes_.clear();
+
+    // Phase 2 -> Phase 3: the whole bucket waiting on this parity joins the
+    // cohort anchored at l3 = slot (stale/dead entries filtered here).
+    for (const std::uint32_t idx : p2_nodes_[sp]) {
+      Node& n = nodes_[idx];
+      if (!n.alive || n.phase != 2) continue;
+      ++n.gen;
+      n.phase = 3;
+      joiners.push_back(idx);
+    }
+    p2_nodes_[sp].clear();
+
+    if (!joiners.empty()) {
+      Cohort fresh;
+      fresh.l3 = slot;
+      // Paper behaviour: the new control channel is parity(slot+1), i.e. the
+      // roles swap; the ablation pins them.
+      fresh.ctrl_parity = options_.swap_channels_on_restart ? parity_channel(slot + 1) : sp;
+      fresh.members = std::move(joiners);
+      cohorts_.push_back(std::move(fresh));
+    }
+  }
+
+  /// kNodeStats tier: charge `c` of `cohort`'s members with one send each
+  /// (uniform subset; see engine/attribution.hpp).
+  void attribute_cohort_sends(const Cohort& cohort, std::uint64_t c, auto& rng_attr) {
+    const auto m = static_cast<std::uint64_t>(cohort.members.size());
+    CR_DCHECK(c <= m);
+    visit_uniform_subset(m, c, rng_attr, attr_scratch_,
+                         [&](std::uint64_t i) { ++nodes_[cohort.members[i]].sends; });
+  }
+
+  const FunctionSet* fs_;
+  SimConfig config_;
+  CjzOptions options_;
+  Streams streams_;
+
+  Trace trace_;
+  SimResult result_;
+  Calendar calendar_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> p1_nodes_;
+  // Phase-2 nodes partitioned by the parity they are waiting on, so a
+  // success transitions a whole bucket in O(1) amortized instead of
+  // rescanning every Phase-2 node per success.
+  std::vector<std::uint32_t> p2_nodes_[2];
+  std::vector<Cohort> cohorts_;
+  std::uint64_t live_ = 0;
+  std::vector<std::uint64_t> offsets_scratch_;
+  SubsetScratch attr_scratch_;
+  std::vector<std::uint32_t> backoff_senders_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> cohort_draws_;
+};
+
+}  // namespace cr

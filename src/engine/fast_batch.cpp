@@ -5,6 +5,7 @@
 
 #include "channel/channel.hpp"
 #include "common/check.hpp"
+#include "common/stream_tags.hpp"
 
 namespace cr {
 
@@ -14,11 +15,11 @@ FastBatchSimulator::FastBatchSimulator(SendProfile profile, Adversary& adversary
 
 SimResult FastBatchSimulator::run() {
   Rng root(config_.seed);
-  Rng rng_adv = root.fork(0xADu);
-  Rng rng = root.fork(0xB0u);
+  Rng rng_adv = root.fork(streams::kAdversary);
+  Rng rng = root.fork(streams::kBatchMain);
   // Attribution draws live on their own stream: recording tiers must never
   // change the trajectory the main stream produces.
-  Rng rng_attr = root.fork(0xA7u);
+  Rng rng_attr = root.fork(streams::kAttribution);
   const bool attribute = config_.recording.wants_node_stats();
 
   trace_ = Trace{};

@@ -1,11 +1,10 @@
 #include "engine/fast_cjz.hpp"
 
-#include <algorithm>
 #include <utility>
 
-#include "channel/channel.hpp"
-#include "common/check.hpp"
-#include "protocols/cjz_node.hpp"
+#include "common/rng.hpp"
+#include "common/stream_tags.hpp"
+#include "engine/cjz_core.hpp"
 
 namespace cr {
 
@@ -13,252 +12,19 @@ FastCjzSimulator::FastCjzSimulator(FunctionSet fs, Adversary& adversary, SimConf
                                    CjzOptions options)
     : fs_(std::move(fs)), adversary_(adversary), config_(config), options_(options) {}
 
-void FastCjzSimulator::begin_stage(std::uint32_t idx, std::uint64_t k, Rng& rng) {
-  Node& n = nodes_[idx];
-  n.stage = k;
-  const std::uint64_t len = static_cast<std::uint64_t>(1) << k;
-  const std::uint64_t vstart = len - 1;
-
-  const unsigned sends = fs_.backoff_sends(len);
-  offsets_scratch_.clear();
-  for (unsigned i = 0; i < sends; ++i) offsets_scratch_.push_back(rng.uniform_u64(len));
-  std::sort(offsets_scratch_.begin(), offsets_scratch_.end());
-  offsets_scratch_.erase(std::unique(offsets_scratch_.begin(), offsets_scratch_.end()),
-                         offsets_scratch_.end());
-  for (const std::uint64_t off : offsets_scratch_) {
-    const slot_t abs = n.from + 2 * (vstart + off);
-    if (abs <= config_.horizon)
-      calendar_.push({abs, CalendarEvent::Kind::kSend, idx, n.gen});
-  }
-  const slot_t next_begin = n.from + 2 * ((len << 1) - 1);
-  if (next_begin <= config_.horizon)
-    calendar_.push({next_begin, CalendarEvent::Kind::kStageBegin, idx, n.gen});
-}
-
-void FastCjzSimulator::handle_success(slot_t slot, Rng& rng) {
-  const int sp = parity_channel(slot);
-
-  // Start the new cohort from the largest merging population (moved, not
-  // copied) — under heavy overload cohorts hold hundreds of thousands of
-  // members and per-success copies would dominate the run time.
-  std::vector<std::uint32_t>* largest = nullptr;
-  for (auto& cohort : cohorts_) {
-    if (cohort.ctrl_parity != sp || cohort.members.empty()) continue;
-    if (largest == nullptr || cohort.members.size() > largest->size())
-      largest = &cohort.members;
-  }
-  std::vector<std::uint32_t> joiners;
-  if (largest != nullptr) joiners = std::move(*largest);
-  for (auto& cohort : cohorts_) {
-    if (cohort.ctrl_parity != sp || cohort.members.empty()) continue;
-    if (&cohort.members == largest) continue;
-    joiners.insert(joiners.end(), cohort.members.begin(), cohort.members.end());
-    cohort.members.clear();
-  }
-  if (largest != nullptr) largest->clear();
-  std::erase_if(cohorts_, [](const Cohort& c) { return c.members.empty(); });
-
-  // Phase 1: every Phase-1 node heard this success. Paper behaviour: move
-  // to Phase 2 on the other channel. Ablation (use_phase2 == false): join
-  // the fresh Phase-3 cohort directly.
-  for (const std::uint32_t idx : p1_nodes_) {
-    Node& n = nodes_[idx];
-    if (!n.alive || n.phase != 1) continue;
-    ++n.gen;  // invalidate pending Phase-1 calendar events
-    if (options_.use_phase2) {
-      n.phase = 2;
-      n.channel = static_cast<std::uint8_t>(1 - sp);
-      n.from = slot + 1;
-      p2_nodes_[1 - sp].push_back(idx);
-      begin_stage(idx, 0, rng);
-    } else {
-      n.phase = 3;
-      joiners.push_back(idx);
-    }
-  }
-  p1_nodes_.clear();
-
-  // Phase 2 -> Phase 3: the whole bucket waiting on this parity joins the
-  // cohort anchored at l3 = slot (stale/dead entries filtered here).
-  for (const std::uint32_t idx : p2_nodes_[sp]) {
-    Node& n = nodes_[idx];
-    if (!n.alive || n.phase != 2) continue;
-    ++n.gen;
-    n.phase = 3;
-    joiners.push_back(idx);
-  }
-  p2_nodes_[sp].clear();
-
-  if (!joiners.empty()) {
-    Cohort fresh;
-    fresh.l3 = slot;
-    // Paper behaviour: the new control channel is parity(slot+1), i.e. the
-    // roles swap; the ablation pins them.
-    fresh.ctrl_parity = options_.swap_channels_on_restart ? parity_channel(slot + 1) : sp;
-    fresh.members = std::move(joiners);
-    cohorts_.push_back(std::move(fresh));
-  }
-}
-
-void FastCjzSimulator::attribute_cohort_sends(const Cohort& cohort, std::uint64_t c,
-                                              Rng& rng_attr) {
-  const auto m = static_cast<std::uint64_t>(cohort.members.size());
-  CR_DCHECK(c <= m);
-  visit_uniform_subset(m, c, rng_attr, attr_scratch_,
-                       [&](std::uint64_t i) { ++nodes_[cohort.members[i]].sends; });
-}
-
 SimResult FastCjzSimulator::run() {
-  Rng root(config_.seed);
-  Rng rng_adv = root.fork(0xADu);
-  Rng rng = root.fork(0xF0u);
-  // Attribution draws live on their own stream: recording tiers must never
-  // change the trajectory the main stream produces.
-  Rng rng_attr = root.fork(0xA7u);
+  const Rng root(config_.seed);
+  Rng rng_adv = root.fork(streams::kAdversary);
 
-  trace_ = Trace{};
-  PublicHistory history(trace_);
-  SimResult result;
-
-  nodes_.clear();
-  p1_nodes_.clear();
-  p2_nodes_[0].clear();
-  p2_nodes_[1].clear();
-  cohorts_.clear();
-  live_ = 0;
-
-  std::vector<std::uint32_t> backoff_senders;
-  std::vector<std::pair<std::size_t, std::uint64_t>> cohort_draws;
+  CjzCore<SequentialCjzStreams> core(&fs_, config_, options_, SequentialCjzStreams(root));
+  PublicHistory history(core.trace());
 
   for (slot_t slot = 1; slot <= config_.horizon; ++slot) {
     const AdversaryAction action = adversary_.on_slot(slot, history, rng_adv);
-
-    for (std::uint64_t i = 0; i < action.inject; ++i) {
-      Node n;
-      n.id = static_cast<node_id>(nodes_.size());
-      n.arrival = slot;
-      n.phase = 1;
-      n.channel = static_cast<std::uint8_t>(parity_channel(slot));
-      n.from = slot;
-      nodes_.push_back(n);
-      const auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
-      p1_nodes_.push_back(idx);
-      begin_stage(idx, 0, rng);
-      ++live_;
-    }
-    result.arrivals += action.inject;
-    CR_CHECK(live_ <= config_.max_live_nodes);
-
-    const std::uint64_t live_now = live_;
-    if (live_now > 0) ++result.active_slots;
-
-    // Gather backoff senders due this slot.
-    backoff_senders.clear();
-    while (auto ev = calendar_.pop_due(slot)) {
-      Node& n = nodes_[ev->node];
-      if (!n.alive || n.gen != ev->gen) continue;
-      if (ev->kind == CalendarEvent::Kind::kStageBegin) {
-        begin_stage(ev->node, n.stage + 1, rng);
-      } else {
-        backoff_senders.push_back(ev->node);
-        ++n.sends;
-      }
-    }
-
-    // Cohort binomial draws.
-    std::uint64_t senders = backoff_senders.size();
-    cohort_draws.clear();
-    for (std::size_t ci = 0; ci < cohorts_.size(); ++ci) {
-      Cohort& cohort = cohorts_[ci];
-      const auto m = static_cast<std::uint64_t>(cohort.members.size());
-      if (m == 0) continue;
-      CR_DCHECK(slot > cohort.l3);
-      const int sp = parity_channel(slot);
-      const double p = cjz_batch_prob(fs_, cohort.l3, sp, sp == cohort.ctrl_parity, slot);
-      const std::uint64_t c = rng.binomial(m, p);
-      if (c > 0) {
-        senders += c;
-        cohort_draws.emplace_back(ci, c);
-      }
-    }
-    result.total_sends += senders;
-
-    // Resolve.
-    std::uint32_t winner_idx = 0;
-    node_id winner = kNoNode;
-    bool cohort_winner = false;
-    if (senders == 1 && !action.jam) {
-      if (!backoff_senders.empty()) {
-        winner_idx = backoff_senders.front();
-      } else {
-        Cohort& cohort = cohorts_[cohort_draws.front().first];
-        const std::uint64_t pos = rng.uniform_u64(cohort.members.size());
-        winner_idx = cohort.members[pos];
-        cohort.members[pos] = cohort.members.back();
-        cohort.members.pop_back();
-        cohort_winner = true;
-      }
-      winner = nodes_[winner_idx].id;
-    }
-
-    const SlotOutcome out = resolve_slot(slot, senders, action.jam, winner);
-    trace_.record(out);
-    if (config_.recording.wants_trace()) result.slot_outcomes.push_back(out);
-    if (out.jammed) ++result.jammed_slots;
-    if (observer_ != nullptr) observer_->on_slot(out, action.inject, live_now);
-
-    if (config_.recording.wants_node_stats()) {
-      // Charge each cohort's binomial count to concrete members. A winning
-      // cohort draw (c == 1, the member already popped above) is charged to
-      // the winner directly; backoff sends were counted at the calendar.
-      for (std::size_t di = 0; di < cohort_draws.size(); ++di) {
-        if (cohort_winner && di == 0) continue;
-        attribute_cohort_sends(cohorts_[cohort_draws[di].first], cohort_draws[di].second,
-                               rng_attr);
-      }
-      if (cohort_winner) ++nodes_[winner_idx].sends;
-    }
-
-    if (out.success()) {
-      ++result.successes;
-      if (result.first_success == 0) result.first_success = slot;
-      result.last_success = slot;
-      if (config_.recording.wants_success_times()) result.success_times.push_back(slot);
-
-      Node& w = nodes_[winner_idx];
-      w.alive = false;
-      ++w.gen;
-      --live_;
-      if (config_.recording.wants_node_stats()) {
-        NodeStats ns;
-        ns.id = w.id;
-        ns.arrival = w.arrival;
-        ns.departure = slot;
-        ns.sends = w.sends;
-        result.node_stats.push_back(ns);
-      }
-
-      handle_success(slot, rng);
-    }
-
-    result.slots = slot;
-    if (config_.stop_when_empty && result.arrivals > 0 && live_ == 0) break;
-    if (config_.stop_after_first_success && result.successes > 0) break;
+    if (core.step(slot, action, observer_)) break;
   }
-
-  result.live_at_end = live_;
-  if (config_.recording.wants_node_stats()) {
-    for (const auto& n : nodes_) {
-      if (!n.alive) continue;
-      NodeStats ns;
-      ns.id = n.id;
-      ns.arrival = n.arrival;
-      ns.departure = 0;
-      ns.sends = n.sends;
-      result.node_stats.push_back(ns);
-    }
-  }
-  if (observer_ != nullptr) observer_->on_run_end(result);
+  SimResult result = core.finish(observer_);
+  trace_ = std::move(core.trace());
   return result;
 }
 

@@ -24,16 +24,17 @@
 /// exact conditional law) drawn from a dedicated attribution RNG stream —
 /// latency AND energy reports work here, and the trajectory is bit-identical
 /// across recording tiers.
+///
+/// The cohort/calendar machinery itself lives in engine/cjz_core.hpp
+/// (CjzCore<Streams>, shared with the lockstep engine); this class is the
+/// sequential-substrate driver: it owns the adversary loop and instantiates
+/// the core over SequentialCjzStreams, which reproduces the historical
+/// xoshiro draw sequences bit for bit.
 #pragma once
-
-#include <cstdint>
-#include <vector>
 
 #include "adversary/adversary.hpp"
 #include "channel/trace.hpp"
 #include "common/functions.hpp"
-#include "engine/attribution.hpp"
-#include "engine/calendar.hpp"
 #include "engine/sim_result.hpp"
 #include "protocols/cjz_node.hpp"
 
@@ -57,48 +58,12 @@ class FastCjzSimulator {
   const Trace& trace() const { return trace_; }
 
  private:
-  struct Node {
-    node_id id = kNoNode;
-    slot_t arrival = 0;
-    slot_t from = 0;      ///< backoff channel-origin (phases 1–2)
-    std::uint64_t sends = 0;  ///< attributed channel accesses (energy)
-    std::uint64_t stage = 0;
-    std::uint32_t gen = 0;
-    std::uint8_t phase = 1;
-    std::uint8_t channel = 0;  ///< backoff channel parity (phases 1–2)
-    bool alive = true;
-  };
-
-  struct Cohort {
-    slot_t l3 = 0;
-    int ctrl_parity = 0;
-    std::vector<std::uint32_t> members;
-  };
-
-  void begin_stage(std::uint32_t idx, std::uint64_t k, Rng& rng);
-  void handle_success(slot_t slot, Rng& rng);
-  /// kNodeStats tier: charge `c` of `cohort`'s members with one send each
-  /// (uniform subset; see engine/attribution.hpp).
-  void attribute_cohort_sends(const Cohort& cohort, std::uint64_t c, Rng& rng_attr);
-
   FunctionSet fs_;
   Adversary& adversary_;
   SimConfig config_;
   CjzOptions options_;
   SlotObserver* observer_ = nullptr;
-
   Trace trace_;
-  Calendar calendar_;
-  std::vector<Node> nodes_;
-  std::vector<std::uint32_t> p1_nodes_;
-  // Phase-2 nodes partitioned by the parity they are waiting on, so a
-  // success transitions a whole bucket in O(1) amortized instead of
-  // rescanning every Phase-2 node per success.
-  std::vector<std::uint32_t> p2_nodes_[2];
-  std::vector<Cohort> cohorts_;
-  std::uint64_t live_ = 0;
-  std::vector<std::uint64_t> offsets_scratch_;
-  SubsetScratch attr_scratch_;
 };
 
 /// Convenience one-shot runner.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/stream_tags.hpp"
 
 namespace cr {
 
@@ -24,8 +25,8 @@ GenericSimulator::GenericSimulator(ProtocolFactory& factory, Adversary& adversar
 
 SimResult GenericSimulator::run() {
   Rng root(config_.seed);
-  Rng rng_adv = root.fork(0xADu);
-  Rng rng_nodes = root.fork(0x0Du);
+  Rng rng_adv = root.fork(streams::kAdversary);
+  Rng rng_nodes = root.fork(streams::kGenericNodes);
 
   trace_ = Trace{};
   PublicHistory history(trace_);

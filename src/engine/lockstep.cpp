@@ -1,0 +1,149 @@
+#include "engine/lockstep.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stream_tags.hpp"
+#include "engine/cjz_core.hpp"
+
+namespace cr {
+
+SimResult run_lockstep_single(const ProtocolSpec& spec, Adversary& adversary,
+                              const SimConfig& config, SlotObserver* observer) {
+  CR_CHECK(spec.kind == ProtocolSpec::Kind::kCjz);
+  Rng rng_adv = Rng(config.seed).fork(streams::kAdversary);
+
+  CjzCore<CounterCjzStreams> core(&spec.fs, config, spec.cjz_options,
+                                  CounterCjzStreams(config.seed));
+  PublicHistory history(core.trace());
+
+  for (slot_t slot = 1; slot <= config.horizon; ++slot) {
+    const AdversaryAction action = adversary.on_slot(slot, history, rng_adv);
+    if (core.step(slot, action, observer)) break;
+  }
+  return core.finish(observer);
+}
+
+namespace {
+
+/// State of one in-flight replication inside a lockstep pass.
+struct Rep {
+  CjzCore<CounterCjzStreams> core;
+  std::unique_ptr<ArrivalProcess> arrival;
+  std::unique_ptr<Jammer> jammer;
+  Rng arrival_rng;
+  Rng jammer_rng;
+  std::uint64_t seed = 0;
+  bool done = false;
+  bool tail_skipped = false;
+  std::uint64_t tail_jammed = 0;
+
+  Rep(const ProtocolSpec& spec, const SimConfig& cfg, const LockstepSweep& sweep,
+      std::uint64_t s)
+      : core(&spec.fs, cfg, spec.cjz_options, CounterCjzStreams(s),
+             Trace::Storage::kCounting),
+        arrival(sweep.make_arrival(s)),
+        jammer(sweep.make_jammer(s)),
+        // Mirror ComposedAdversary's lazy forks: the engine's adversary
+        // stream is handed over unconsumed, so both component streams are
+        // pure functions of the replication seed.
+        arrival_rng(Rng(s).fork(streams::kAdversary).fork(streams::kArrival)),
+        jammer_rng(Rng(s).fork(streams::kAdversary).fork(streams::kJammer)),
+        seed(s) {}
+};
+
+/// Advance replications [lo, hi) in lockstep over the whole slot axis,
+/// writing each finished result into out[r].
+void run_chunk(const ProtocolSpec& spec, const SimConfig& config, const LockstepSweep& sweep,
+               int lo, int hi, std::vector<SimResult>& out) {
+  const bool can_tail = sweep.analytic_tail && sweep.tail_jam >= 0.0 &&
+                        !config.recording.wants_trace() && !config.stop_when_empty;
+
+  std::vector<Rep> reps;
+  reps.reserve(static_cast<std::size_t>(hi - lo));
+  for (int r = lo; r < hi; ++r) {
+    SimConfig cfg = config;
+    cfg.seed = sweep.base_seed + static_cast<std::uint64_t>(r);
+    reps.emplace_back(spec, cfg, sweep, cfg.seed);
+  }
+
+  std::size_t running = reps.size();
+  for (slot_t slot = 1; slot <= config.horizon && running > 0; ++slot) {
+    for (auto& rep : reps) {
+      if (rep.done) continue;
+
+      if (can_tail && slot > sweep.quiet_after && rep.core.live() == 0) {
+        // Certificate: no arrivals can occur from here on and no node is
+        // live, so every remaining slot is protocol-silent — empty or
+        // jammed by the i.i.d. tail. One binomial on the dedicated tail
+        // stream replaces horizon - slot + 1 scalar slots.
+        const auto remaining = static_cast<std::uint64_t>(config.horizon - slot + 1);
+        rep.tail_jammed = CounterRng(rep.seed)
+                              .fork(streams::kLockstepTail)
+                              .stream(slot)
+                              .binomial(remaining, sweep.tail_jam);
+        rep.tail_skipped = true;
+        rep.done = true;
+        --running;
+        continue;
+      }
+
+      PublicHistory history(rep.core.trace());
+      AdversaryAction action;
+      // Same order as ComposedAdversary: jam is decided before arrivals.
+      action.jam = rep.jammer->jams(slot, history, rep.jammer_rng);
+      action.inject = rep.arrival->arrivals(slot, history, rep.arrival_rng);
+      if (rep.core.step(slot, action, nullptr)) {
+        rep.done = true;
+        --running;
+      }
+    }
+  }
+
+  for (int r = lo; r < hi; ++r) {
+    Rep& rep = reps[static_cast<std::size_t>(r - lo)];
+    SimResult res = rep.core.finish(nullptr);
+    if (rep.tail_skipped) {
+      res.slots = config.horizon;
+      res.jammed_slots += rep.tail_jammed;
+    }
+    out[static_cast<std::size_t>(r)] = std::move(res);
+  }
+}
+
+}  // namespace
+
+std::vector<SimResult> run_lockstep_many(const ProtocolSpec& spec, const SimConfig& config,
+                                         const LockstepSweep& sweep) {
+  CR_CHECK(spec.kind == ProtocolSpec::Kind::kCjz);
+  CR_CHECK(sweep.reps >= 0);
+  CR_CHECK(sweep.make_arrival != nullptr && sweep.make_jammer != nullptr);
+
+  std::vector<SimResult> out(static_cast<std::size_t>(sweep.reps));
+  if (sweep.reps == 0) return out;
+
+  const int threads = std::min(sweep.threads < 1 ? 1 : sweep.threads, sweep.reps);
+  if (threads <= 1) {
+    run_chunk(spec, config, sweep, 0, sweep.reps, out);
+    return out;
+  }
+
+  // Contiguous chunks keep each thread's pass over disjoint cache lines and
+  // make the result layout independent of scheduling.
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  const int per = sweep.reps / threads;
+  const int extra = sweep.reps % threads;
+  int lo = 0;
+  for (int t = 0; t < threads; ++t) {
+    const int hi = lo + per + (t < extra ? 1 : 0);
+    pool.emplace_back([&, lo, hi] { run_chunk(spec, config, sweep, lo, hi, out); });
+    lo = hi;
+  }
+  for (auto& th : pool) th.join();
+  return out;
+}
+
+}  // namespace cr

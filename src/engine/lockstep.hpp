@@ -1,0 +1,92 @@
+/// \file
+/// Lockstep many-replication engine for the CJZ algorithm.
+///
+/// The scalar engines execute one replication at a time; a Monte-Carlo sweep
+/// over R seeds pays R full passes over the slot axis plus R times the
+/// per-run setup, and the threaded harness buys back at most a core-count
+/// factor. The lockstep engine turns the loop inside out: it holds R
+/// replications of the SAME workload concurrently and advances all of them
+/// slot by slot in one pass, which is only possible on the counter-based RNG
+/// substrate (CounterRng) — every (replication, slot) pair owns a stream
+/// that is a pure function of (seed, stream-tag, slot), so no generator
+/// state has to persist per replication between slots.
+///
+/// Two things make the sweep fast:
+///
+///   1. Per-slot work per replication is the CjzCore transition (already
+///      O(#cohorts + #due events)); the lockstep pass amortises the slot
+///      loop, the adversary-component virtual dispatch stays, but dead
+///      replications cost nothing.
+///
+///   2. Quiescent-tail skipping: once a replication has no live nodes and
+///      the workload certificate says no further arrivals can occur
+///      (LockstepSweep::quiet_after) and the jammer's tail is i.i.d. with a
+///      known rate (tail_jam), the remaining slots are empty-or-jammed with
+///      no protocol activity — the engine draws the number of jammed tail
+///      slots from one Binomial on the dedicated kLockstepTail counter
+///      stream and skips to the horizon. Counters match the scalar engines
+///      in distribution (validated statistically in tests/test_lockstep.cpp
+///      and tests/test_cross_engine.cpp); bit-exactness with the scalar
+///      engines is not expected — the substrates draw different streams.
+///      With the tail disabled (exact mode) a lockstep sweep is bit-exact to
+///      running its own single-run path once per seed.
+///
+/// The single-run entry point (run_lockstep_single, wrapped by the
+/// "lockstep" EngineRegistry entry) executes one replication on the counter
+/// substrate — same trajectory law as fast_cjz, different draws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "engine/engine.hpp"
+#include "engine/sim_result.hpp"
+
+namespace cr {
+
+/// One replication on the counter substrate (registered as engine
+/// "lockstep"). `spec` must be kCjz.
+SimResult run_lockstep_single(const ProtocolSpec& spec, Adversary& adversary,
+                              const SimConfig& config, SlotObserver* observer = nullptr);
+
+/// Description of a many-seed sweep. Replication r runs with seed
+/// base_seed + r; its adversary is rebuilt per replication from the two
+/// factories with streams forked exactly like ComposedAdversary forks them
+/// (kAdversary -> kArrival/kJammer, jam decided before arrivals), so each
+/// replication's adversary behaviour is bit-identical to handing the same
+/// components to a scalar engine at the same seed.
+struct LockstepSweep {
+  int reps = 1;
+  std::uint64_t base_seed = 1;
+  /// Worker threads; replications are split into contiguous chunks so each
+  /// thread's lockstep pass touches a disjoint index range (results are
+  /// seed-ordered and independent of the thread count).
+  int threads = 1;
+
+  /// Per-replication component factories (seed = that replication's seed,
+  /// forwarded so construction-time randomness — e.g. uniform_random's slot
+  /// schedule — varies across replications like it does across scalar runs).
+  std::function<std::unique_ptr<ArrivalProcess>(std::uint64_t seed)> make_arrival;
+  std::function<std::unique_ptr<Jammer>(std::uint64_t seed)> make_jammer;
+
+  /// Quiescent-tail certificate (see file comment). analytic_tail enables
+  /// the skip; it applies only when tail_jam >= 0, the recording tier does
+  /// not keep per-slot outcomes, and config.stop_when_empty is false.
+  bool analytic_tail = false;
+  /// No arrivals can occur at any slot > quiet_after.
+  slot_t quiet_after = 0;
+  /// I.i.d. jam probability on slots > quiet_after once quiet (< 0: unknown
+  /// — disables the analytic tail).
+  double tail_jam = -1.0;
+};
+
+/// Run the sweep: R replications of `spec` × `config` advanced in lockstep.
+/// Returns one SimResult per replication, ordered by seed (index r <->
+/// seed base_seed + r). `config.seed` is ignored (per-rep seeds rule).
+std::vector<SimResult> run_lockstep_many(const ProtocolSpec& spec, const SimConfig& config,
+                                         const LockstepSweep& sweep);
+
+}  // namespace cr

@@ -8,6 +8,8 @@
 #include "adversary/component_registry.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "engine/lockstep.hpp"
+#include "exp/harness.hpp"
 #include "protocols/baselines.hpp"
 #include "protocols/batch.hpp"
 
@@ -254,6 +256,127 @@ WorkloadSpec scenario_preset_workload(const std::string& scenario, const Scenari
                scenario.c_str());
   CR_CHECK(false);
   return w;
+}
+
+namespace {
+
+/// Validated parameter values of one component (schema defaults applied).
+template <typename Entry>
+ParamValues component_values(const Entry& entry, const ComponentSpec& component,
+                             const std::string& kind) {
+  const auto checked = ParamValidation::check(entry.schema, component.params,
+                                              kind + " \"" + component.name + "\"");
+  CR_CHECK(checked.error.empty());  // spec validated upstream
+  return checked.values;
+}
+
+}  // namespace
+
+LockstepCertificate lockstep_certificate(const WorkloadSpec& spec) {
+  CR_CHECK(validate_workload(spec).empty());
+  LockstepCertificate cert;
+
+  // Arrival side: the last slot an arrival can occur at. Anything without a
+  // provable bound keeps the horizon — correct, and the skip simply never
+  // fires.
+  slot_t quiet = spec.horizon;
+  if (spec.arrival.name == "none") {
+    quiet = 0;
+  } else if (spec.arrival.name == "batch") {
+    const auto values = component_values(ArrivalRegistry::instance().at("batch"),
+                                         spec.arrival, "arrival");
+    quiet = static_cast<slot_t>(values.get_uint("at"));
+  } else if (spec.arrival.name == "bernoulli") {
+    const auto values = component_values(ArrivalRegistry::instance().at("bernoulli"),
+                                         spec.arrival, "arrival");
+    const std::uint64_t to = values.get_uint("to");
+    quiet = to == 0 ? spec.horizon : static_cast<slot_t>(to);
+  }
+
+  // Jammer side: the i.i.d. rate past the quiet point, when certifiable.
+  double tail = -1.0;
+  if (spec.jammer.name == "none") {
+    tail = 0.0;
+  } else if (spec.jammer.name == "iid") {
+    const auto values = component_values(JammerRegistry::instance().at("iid"),
+                                         spec.jammer, "jammer");
+    tail = values.get_double("fraction");
+  } else if (spec.jammer.name == "prefix") {
+    const auto values = component_values(JammerRegistry::instance().at("prefix"),
+                                         spec.jammer, "jammer");
+    tail = 0.0;
+    quiet = std::max(quiet, static_cast<slot_t>(values.get_uint("count")));
+  }
+
+  cert.eligible = tail >= 0.0;
+  cert.quiet_after = quiet;
+  cert.tail_jam = tail;
+  return cert;
+}
+
+std::vector<SimResult> replicate_workload(const Engine& engine, const WorkloadSpec& spec,
+                                          int reps, std::uint64_t base_seed, int threads,
+                                          const SimConfig& config_template) {
+  CR_CHECK(reps > 0);
+
+  if (engine.name() == "lockstep") {
+    WorkloadSpec probe_spec = spec;
+    probe_spec.seed = base_seed;
+    const Scenario probe = build_workload(probe_spec);
+    CR_CHECK(engine.supports(probe.protocol));
+
+    SimConfig config = config_template;
+    config.horizon = spec.horizon;
+    config.seed = base_seed;
+
+    const ArrivalEntry& arrival = ArrivalRegistry::instance().at(spec.arrival.name);
+    const ParamValues arrival_values = component_values(arrival, spec.arrival, "arrival");
+    const JammerEntry& jammer = JammerRegistry::instance().at(spec.jammer.name);
+    const ParamValues jammer_values = component_values(jammer, spec.jammer, "jammer");
+    const FunctionSet& fs = probe.fs;
+    const slot_t horizon = spec.horizon;
+
+    LockstepSweep sweep;
+    sweep.reps = reps;
+    sweep.base_seed = base_seed;
+    sweep.threads = threads;
+    // run_lockstep_many is synchronous, so capturing the locals by reference
+    // is safe; the per-seed context mirrors build_workload's exactly.
+    sweep.make_arrival = [&](std::uint64_t seed) {
+      const WorkloadContext ctx{fs, horizon, seed};
+      return arrival.make(arrival_values, ctx);
+    };
+    sweep.make_jammer = [&](std::uint64_t seed) {
+      const WorkloadContext ctx{fs, horizon, seed};
+      return jammer.make(jammer_values, ctx);
+    };
+    const LockstepCertificate cert = lockstep_certificate(spec);
+    sweep.analytic_tail = cert.eligible;
+    sweep.quiet_after = cert.quiet_after;
+    sweep.tail_jam = cert.tail_jam;
+    return run_lockstep_many(probe.protocol, config, sweep);
+  }
+
+  return replicate(
+      reps, base_seed,
+      [&](std::uint64_t seed) {
+        WorkloadSpec per = spec;
+        per.seed = seed;
+        Scenario sc = build_workload(per);
+        sc.config = config_template;
+        sc.config.horizon = per.horizon;
+        sc.config.seed = seed;
+        return run_scenario(engine, sc);
+      },
+      threads);
+}
+
+std::vector<SimResult> replicate_scenario(const Engine& engine, const std::string& scenario,
+                                          const ScenarioParams& params, int reps,
+                                          std::uint64_t base_seed, int threads,
+                                          const SimConfig& config_template) {
+  return replicate_workload(engine, scenario_preset_workload(scenario, params), reps,
+                            base_seed, threads, config_template);
 }
 
 }  // namespace cr

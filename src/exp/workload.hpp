@@ -98,4 +98,45 @@ Scenario build_workload(const WorkloadSpec& spec);
 /// the scenario name.
 WorkloadSpec scenario_preset_workload(const std::string& scenario, const ScenarioParams& p);
 
+/// Quiescent-tail certificate for the lockstep engine, derived from the
+/// workload's component names and parameters (see engine/lockstep.hpp):
+/// `quiet_after` is a slot after which the arrival component provably emits
+/// nothing (batch: its arrival slot; bernoulli: its window end; otherwise
+/// the horizon, which is trivially correct and disables the skip), and
+/// `tail_jam` is the i.i.d. jam probability past that point (none: 0, iid:
+/// its fraction, prefix: 0 past the prefix). History- or budget-coupled
+/// jammers cannot be certified — `eligible` is false and lockstep sweeps
+/// fall back to the exact per-slot loop.
+struct LockstepCertificate {
+  bool eligible = false;
+  slot_t quiet_after = 0;
+  double tail_jam = -1.0;
+};
+LockstepCertificate lockstep_certificate(const WorkloadSpec& spec);
+
+/// Replicate `spec` over seeds base_seed .. base_seed+reps-1 on `engine` and
+/// return the results in seed order. `config_template` supplies the run
+/// options other than horizon and seed (recording tier, stop flags, node
+/// cap), which are taken from the spec and the seed sweep.
+///
+/// For every scalar engine this is exactly the classic harness loop —
+/// build_workload per seed, run_scenario, replicate() across threads — and
+/// is byte-identical to it. For engine "lockstep" it dispatches to
+/// run_lockstep_many: one lockstep pass advances all replications together,
+/// with the analytic quiescent-tail skip enabled whenever
+/// lockstep_certificate(spec) is eligible (aggregate statistics match the
+/// scalar engines; per-seed bit-exactness is not preserved across
+/// substrates).
+std::vector<SimResult> replicate_workload(const Engine& engine, const WorkloadSpec& spec,
+                                          int reps, std::uint64_t base_seed, int threads,
+                                          const SimConfig& config_template = {});
+
+/// replicate_workload over a registered scenario preset (the five built-in
+/// scenario names), via scenario_preset_workload. `params.horizon` and
+/// `params.seed` shape the spec exactly like the registry builders do.
+std::vector<SimResult> replicate_scenario(const Engine& engine, const std::string& scenario,
+                                          const ScenarioParams& params, int reps,
+                                          std::uint64_t base_seed, int threads,
+                                          const SimConfig& config_template = {});
+
 }  // namespace cr

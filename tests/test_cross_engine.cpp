@@ -387,6 +387,68 @@ TEST(CrossEngineFuzz, RandomizedRegistrySweep) {
   }
 }
 
+TEST(CrossEngineFuzz, LockstepRandomizedSweep) {
+  // Same differential contract for the lockstep engine's single-run path
+  // (counter substrate). The protocol draws differ from the sequential
+  // engines by design, but the adversary stream is substrate-independent:
+  // the lockstep engine forks the SAME kAdversary stream off the seed, so
+  // slots/arrivals/jammed and the per-slot jam pattern must match the
+  // reference engine EXACTLY on every registry workload.
+  const std::vector<std::string> workloads = ScenarioRegistry::instance().names();
+  const Engine& reference = EngineRegistry::instance().at(kReference);
+  const Engine* lockstep = EngineRegistry::instance().find("lockstep");
+  ASSERT_NE(lockstep, nullptr);
+  Rng fuzz(0x10C857E9u);
+  const char* regimes[] = {"const", "log", "exp_sqrt_log"};
+  const int kCases = 100;
+  for (int c = 0; c < kCases; ++c) {
+    ScenarioParams p;
+    p.horizon = 256 + fuzz.uniform_u64(768);
+    p.seed = fuzz.next_u64();
+    p.n = 1 + fuzz.uniform_u64(24);
+    p.jam = (c % 3 == 0) ? 0.4 * fuzz.uniform01() : 0.0;
+    p.rate = 0.08 * fuzz.uniform01();
+    p.arrival_margin = 4.0 + 12.0 * fuzz.uniform01();
+    p.jam_margin = 4.0 + 8.0 * fuzz.uniform01();
+    p.g_regime = regimes[fuzz.uniform_u64(3)];
+    p.gamma = (p.g_regime == std::string("exp_sqrt_log")) ? 1.0 : 2.0 + 4.0 * fuzz.uniform01();
+    const std::string& workload = workloads[static_cast<std::size_t>(c) % workloads.size()];
+    const std::string tag =
+        workload + " lockstep case=" + std::to_string(c) + " seed=" + std::to_string(p.seed);
+
+    auto run_on = [&](const Engine& engine, RecordingConfig recording) {
+      Scenario sc = ScenarioRegistry::instance().build(workload, p);
+      sc.config.recording = recording;
+      return run_scenario(engine, sc);
+    };
+    const SimResult ref = run_on(reference, RecordingConfig::full_trace());
+    const SimResult lck = run_on(*lockstep, RecordingConfig::full_trace());
+
+    // (a) determinism: bit-identical on a re-run.
+    EXPECT_EQ(lck, run_on(*lockstep, RecordingConfig::full_trace())) << tag;
+
+    // (b) the adversary-driven counters match the reference exactly.
+    ASSERT_EQ(ref.slots, lck.slots) << tag;
+    EXPECT_EQ(ref.arrivals, lck.arrivals) << tag;
+    EXPECT_EQ(ref.jammed_slots, lck.jammed_slots) << tag;
+    for (slot_t s = 0; s < ref.slots; ++s)
+      ASSERT_EQ(ref.slot_outcomes[s].jammed, lck.slot_outcomes[s].jammed) << tag;
+
+    // (c) internal consistency of the recorded result.
+    expect_internally_consistent(lck, tag + " [lockstep]");
+
+    // (d) recording tiers are pure observation.
+    const SimResult bare = run_on(*lockstep, RecordingConfig::none());
+    EXPECT_EQ(bare.slots, lck.slots) << tag;
+    EXPECT_EQ(bare.successes, lck.successes) << tag;
+    EXPECT_EQ(bare.total_sends, lck.total_sends) << tag;
+    EXPECT_EQ(bare.first_success, lck.first_success) << tag;
+    EXPECT_EQ(bare.last_success, lck.last_success) << tag;
+    EXPECT_EQ(bare.active_slots, lck.active_slots) << tag;
+    EXPECT_EQ(bare.live_at_end, lck.live_at_end) << tag;
+  }
+}
+
 TEST(CrossEngineFuzz, ProfileEngineRandomizedSweep) {
   // Same differential contract for fast_batch (profile specs are not in the
   // scenario registry, which is CJZ-flavoured).

@@ -62,9 +62,10 @@ TEST(EngineRegistryTest, PreferredPicksTheFastestCompatibleEngine) {
 TEST(EngineRegistryTest, CompatibleIsOrderedFastestFirst) {
   const auto engines =
       EngineRegistry::instance().compatible(cjz_protocol(functions_constant_g(4.0)));
-  ASSERT_EQ(engines.size(), 2u);  // fast_cjz + generic
-  EXPECT_EQ(engines.front()->name(), "fast_cjz");
-  EXPECT_EQ(engines.back()->name(), "generic");
+  ASSERT_EQ(engines.size(), 3u);  // fast_cjz (rank 100) + lockstep (50) + generic (0)
+  EXPECT_EQ(engines[0]->name(), "fast_cjz");
+  EXPECT_EQ(engines[1]->name(), "lockstep");
+  EXPECT_EQ(engines[2]->name(), "generic");
 }
 
 TEST(ProtocolSpecTest, MakeFactoryMaterialisesEveryKind) {

@@ -1,0 +1,245 @@
+// Lockstep many-replication engine (engine/lockstep.hpp): the many-seed
+// sweep must be bit-exact to its own single-run path once per seed in exact
+// mode, invariant to the worker-thread count, and — with the analytic
+// quiescent-tail skip on — must leave every non-jam counter untouched while
+// matching the jam counter in distribution. The workload-layer certificate
+// (exp/workload.hpp lockstep_certificate) is unit-tested against the
+// component registry rules it encodes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "adversary/arrivals.hpp"
+#include "adversary/jammers.hpp"
+#include "engine/engine.hpp"
+#include "engine/lockstep.hpp"
+#include "exp/scenarios.hpp"
+#include "exp/workload.hpp"
+
+namespace cr {
+namespace {
+
+ProtocolSpec test_protocol() { return cjz_protocol(functions_for_regime("const", 4.0)); }
+
+SimConfig base_config(slot_t horizon, RecordingConfig recording) {
+  SimConfig cfg;
+  cfg.horizon = horizon;
+  cfg.recording = recording;
+  return cfg;
+}
+
+/// A batch-then-iid sweep over `reps` seeds; the single-run equivalent of
+/// replication r is run_lockstep_single with a fresh ComposedAdversary over
+/// the same components at seed base_seed + r.
+LockstepSweep batch_iid_sweep(int reps, std::uint64_t base_seed, int threads) {
+  LockstepSweep sweep;
+  sweep.reps = reps;
+  sweep.base_seed = base_seed;
+  sweep.threads = threads;
+  sweep.make_arrival = [](std::uint64_t) { return batch_arrival(64, 1); };
+  sweep.make_jammer = [](std::uint64_t) { return iid_jammer(0.25); };
+  return sweep;
+}
+
+SimResult single_batch_iid(std::uint64_t seed, const SimConfig& cfg) {
+  ComposedAdversary adv(batch_arrival(64, 1), iid_jammer(0.25));
+  SimConfig per = cfg;
+  per.seed = seed;
+  return run_lockstep_single(test_protocol(), adv, per);
+}
+
+TEST(Lockstep, SingleRunIsDeterministic) {
+  const SimConfig cfg = base_config(4096, RecordingConfig::full_trace());
+  const SimResult a = single_batch_iid(99, cfg);
+  const SimResult b = single_batch_iid(99, cfg);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.slots, 4096);
+  EXPECT_GT(a.successes, 0u);
+}
+
+TEST(Lockstep, ManyMatchesSingleExact) {
+  // Exact mode (no analytic tail): the sweep result for seed base+r is
+  // bit-identical to running the single-run path at that seed — node stats
+  // and the full slot trace included.
+  const int kReps = 8;
+  const std::uint64_t kBase = 4242;
+  const SimConfig cfg = base_config(2048, RecordingConfig::full_trace());
+  LockstepSweep sweep = batch_iid_sweep(kReps, kBase, 1);
+  const std::vector<SimResult> many = run_lockstep_many(test_protocol(), cfg, sweep);
+  ASSERT_EQ(many.size(), static_cast<std::size_t>(kReps));
+  for (int r = 0; r < kReps; ++r)
+    EXPECT_EQ(many[static_cast<std::size_t>(r)],
+              single_batch_iid(kBase + static_cast<std::uint64_t>(r), cfg))
+        << "rep " << r;
+}
+
+TEST(Lockstep, ThreadCountInvariance) {
+  // Replications are split into contiguous chunks; results must not depend
+  // on how many workers advanced them. 10 reps / 4 threads exercises the
+  // uneven-chunk path.
+  const SimConfig cfg = base_config(1024, RecordingConfig::node_stats());
+  LockstepSweep one = batch_iid_sweep(10, 777, 1);
+  LockstepSweep four = batch_iid_sweep(10, 777, 4);
+  one.analytic_tail = four.analytic_tail = true;
+  one.quiet_after = four.quiet_after = 1;
+  one.tail_jam = four.tail_jam = 0.25;
+  const auto a = run_lockstep_many(test_protocol(), cfg, one);
+  const auto b = run_lockstep_many(test_protocol(), cfg, four);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) EXPECT_EQ(a[r], b[r]) << "rep " << r;
+}
+
+TEST(Lockstep, AnalyticTailPreservesNonJamCounters) {
+  // The tail skip replaces per-slot i.i.d. jam coins on provably-empty slots
+  // with one Binomial draw. Everything the protocol does happens before the
+  // skip point, so every counter except jammed_slots must be EXACTLY the
+  // per-slot loop's value; jammed_slots matches in distribution (checked on
+  // the mean below).
+  const int kReps = 32;
+  const slot_t kHorizon = 4096;
+  const SimConfig cfg = base_config(kHorizon, RecordingConfig::node_stats());
+  LockstepSweep exact = batch_iid_sweep(kReps, 31337, 1);
+  LockstepSweep tail = batch_iid_sweep(kReps, 31337, 1);
+  tail.analytic_tail = true;
+  tail.quiet_after = 1;
+  tail.tail_jam = 0.25;
+  const auto a = run_lockstep_many(test_protocol(), cfg, exact);
+  const auto b = run_lockstep_many(test_protocol(), cfg, tail);
+  ASSERT_EQ(a.size(), b.size());
+  double jam_exact = 0.0, jam_tail = 0.0;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(b[r].slots, kHorizon) << "rep " << r;
+    EXPECT_EQ(a[r].slots, b[r].slots) << "rep " << r;
+    EXPECT_EQ(a[r].arrivals, b[r].arrivals) << "rep " << r;
+    EXPECT_EQ(a[r].successes, b[r].successes) << "rep " << r;
+    EXPECT_EQ(a[r].total_sends, b[r].total_sends) << "rep " << r;
+    EXPECT_EQ(a[r].first_success, b[r].first_success) << "rep " << r;
+    EXPECT_EQ(a[r].last_success, b[r].last_success) << "rep " << r;
+    EXPECT_EQ(a[r].active_slots, b[r].active_slots) << "rep " << r;
+    EXPECT_EQ(a[r].live_at_end, b[r].live_at_end) << "rep " << r;
+    EXPECT_EQ(a[r].node_stats, b[r].node_stats) << "rep " << r;
+    jam_exact += static_cast<double>(a[r].jammed_slots);
+    jam_tail += static_cast<double>(b[r].jammed_slots);
+  }
+  // Means over 32 reps of ~Binomial(4096, 0.25): sd of each mean ≈ 4.9, so
+  // 35 is a ~5-sigma band on the difference — loose but regression-sensitive.
+  EXPECT_NEAR(jam_exact / kReps, jam_tail / kReps, 35.0);
+}
+
+TEST(Lockstep, AnalyticTailDisabledUnderFullTrace) {
+  // A full slot trace wants every slot's outcome, so the skip must not fire:
+  // tail mode under kFullTrace is bit-exact to exact mode.
+  const SimConfig cfg = base_config(1024, RecordingConfig::full_trace());
+  LockstepSweep exact = batch_iid_sweep(6, 555, 1);
+  LockstepSweep tail = batch_iid_sweep(6, 555, 1);
+  tail.analytic_tail = true;
+  tail.quiet_after = 1;
+  tail.tail_jam = 0.25;
+  const auto a = run_lockstep_many(test_protocol(), cfg, exact);
+  const auto b = run_lockstep_many(test_protocol(), cfg, tail);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) EXPECT_EQ(a[r], b[r]) << "rep " << r;
+}
+
+TEST(Lockstep, RegistryEntryAndPreference) {
+  // Registered, supports kCjz, but ranked below fast_cjz so single-run
+  // callers keep the sequential substrate (and its golden CSVs) by default.
+  const Engine* lockstep = EngineRegistry::instance().find("lockstep");
+  ASSERT_NE(lockstep, nullptr);
+  const ProtocolSpec spec = test_protocol();
+  EXPECT_TRUE(lockstep->supports(spec));
+  EXPECT_EQ(EngineRegistry::instance().preferred(spec).name(), "fast_cjz");
+}
+
+// ---------------------------------------------------------------------------
+// lockstep_certificate — the workload-layer eligibility rules.
+
+WorkloadSpec make_spec(ComponentSpec arrival, ComponentSpec jammer, slot_t horizon = 4096) {
+  WorkloadSpec spec;
+  spec.arrival = std::move(arrival);
+  spec.jammer = std::move(jammer);
+  spec.horizon = horizon;
+  return spec;
+}
+
+TEST(LockstepCertificate, BatchPlusIidUsesBatchSlotAndFraction) {
+  const auto cert = lockstep_certificate(make_spec(
+      {"batch", {{"n", "32"}, {"at", "7"}}}, {"iid", {{"fraction", "0.3"}}}));
+  EXPECT_TRUE(cert.eligible);
+  EXPECT_EQ(cert.quiet_after, 7);
+  EXPECT_DOUBLE_EQ(cert.tail_jam, 0.3);
+}
+
+TEST(LockstepCertificate, NonePlusNoneIsTriviallyQuiet) {
+  const auto cert = lockstep_certificate(make_spec({"none", {}}, {"none", {}}));
+  EXPECT_TRUE(cert.eligible);
+  EXPECT_EQ(cert.quiet_after, 0);
+  EXPECT_DOUBLE_EQ(cert.tail_jam, 0.0);
+}
+
+TEST(LockstepCertificate, BernoulliWindowAndPrefixTakeTheMax) {
+  // Arrivals stop at to=100 but the prefix jammer is only provably silent
+  // past count=500 — the certificate must wait for both.
+  const auto cert = lockstep_certificate(
+      make_spec({"bernoulli", {{"rate", "0.1"}, {"to", "100"}}},
+                {"prefix", {{"count", "500"}}}));
+  EXPECT_TRUE(cert.eligible);
+  EXPECT_EQ(cert.quiet_after, 500);
+  EXPECT_DOUBLE_EQ(cert.tail_jam, 0.0);
+}
+
+TEST(LockstepCertificate, OpenBernoulliWindowKeepsHorizon) {
+  // to=0 means "until the horizon": the certificate stays correct (quiet ==
+  // horizon) and the skip simply never fires.
+  const auto cert = lockstep_certificate(
+      make_spec({"bernoulli", {{"rate", "0.1"}}}, {"none", {}}, 9999));
+  EXPECT_TRUE(cert.eligible);
+  EXPECT_EQ(cert.quiet_after, 9999);
+}
+
+TEST(LockstepCertificate, HistoryCoupledJammerIsIneligible) {
+  for (const char* jammer : {"reactive", "periodic", "budget_paced"}) {
+    const auto cert = lockstep_certificate(make_spec({"batch", {}}, {jammer, {}}));
+    EXPECT_FALSE(cert.eligible) << jammer;
+    EXPECT_LT(cert.tail_jam, 0.0) << jammer;
+  }
+}
+
+TEST(LockstepCertificate, UnboundedArrivalKeepsHorizon) {
+  const auto cert = lockstep_certificate(
+      make_spec({"uniform_random", {{"total", "16"}}}, {"iid", {}}, 2048));
+  EXPECT_TRUE(cert.eligible);
+  EXPECT_EQ(cert.quiet_after, 2048);
+}
+
+TEST(Lockstep, ReplicateScenarioStatParityWithFastCjz) {
+  // End-to-end through the exp layer: a lockstep batch sweep (analytic tail
+  // on, different substrate) must agree with fast_cjz on the mean success
+  // and send counts. Batch of 256 nodes, 25% jamming: every node succeeds
+  // well before the horizon, so mean successes is exactly 256 on both sides
+  // and sends agree to Monte-Carlo noise.
+  const int kReps = 24;
+  ScenarioParams params;
+  params.horizon = 1 << 14;
+  const Engine& lockstep = EngineRegistry::instance().at("lockstep");
+  const Engine& fast = EngineRegistry::instance().at("fast_cjz");
+  const auto a = replicate_scenario(lockstep, "batch", params, kReps, 8800, 1);
+  const auto b = replicate_scenario(fast, "batch", params, kReps, 8800, 1);
+  ASSERT_EQ(a.size(), b.size());
+  double succ_a = 0, succ_b = 0, sends_a = 0, sends_b = 0;
+  for (int r = 0; r < kReps; ++r) {
+    succ_a += static_cast<double>(a[static_cast<std::size_t>(r)].successes);
+    succ_b += static_cast<double>(b[static_cast<std::size_t>(r)].successes);
+    sends_a += static_cast<double>(a[static_cast<std::size_t>(r)].total_sends);
+    sends_b += static_cast<double>(b[static_cast<std::size_t>(r)].total_sends);
+  }
+  EXPECT_DOUBLE_EQ(succ_a / kReps, succ_b / kReps);
+  const double mean_sends = sends_b / kReps;
+  EXPECT_NEAR(sends_a / kReps, mean_sends, 0.15 * mean_sends);
+}
+
+}  // namespace
+}  // namespace cr

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/stream_tags.hpp"
 
 namespace cr {
 namespace {
@@ -192,6 +193,101 @@ TEST(Rng, SplitmixAdvancesState) {
   const auto b = splitmix64(s);
   EXPECT_NE(a, b);
   EXPECT_NE(s, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CounterRng — the counter-based substrate the lockstep engine runs on.
+
+TEST(CounterRng, AtMatchesStreamSequence) {
+  // stream(hi) is a sequential cursor over at(hi, 0), at(hi, 1), ... — the
+  // core counter-substrate contract: draw order carries no state.
+  const CounterRng rng(0xC0FFEEu);
+  for (const std::uint64_t hi : {0ull, 1ull, 77ull, 1ull << 40}) {
+    auto stream = rng.stream(hi);
+    for (std::uint64_t i = 0; i < 64; ++i)
+      ASSERT_EQ(stream(), rng.at(hi, i)) << "hi=" << hi << " index=" << i;
+    EXPECT_EQ(stream.index(), 64u);
+  }
+}
+
+TEST(CounterRng, AtIsOrderIndependent) {
+  // Reading positions backwards (or any order) gives the same words as
+  // reading forwards; at() is a pure function of (key, hi, index).
+  const CounterRng rng(42);
+  std::vector<std::uint64_t> forward;
+  for (std::uint64_t i = 0; i < 100; ++i) forward.push_back(rng.at(9, i));
+  for (std::uint64_t i = 100; i-- > 0;) EXPECT_EQ(rng.at(9, i), forward[i]);
+}
+
+TEST(CounterRng, DeterministicAcrossInstances) {
+  const CounterRng a(123), b(123);
+  EXPECT_EQ(a.key(), b.key());
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(a.at(5, i), b.at(5, i));
+}
+
+TEST(CounterRng, ForkMatchesRngForkSeed) {
+  // Both substrates share rng_detail::fork_seed, so a (seed, tag) pair names
+  // the same logical stream on either — including chained forks. This is
+  // what lets the lockstep engine reuse the sequential engines' tags.
+  for (const std::uint64_t seed : {1ull, 999ull, 0x9e3779b97f4a7c15ull}) {
+    for (const std::uint64_t tag : streams::kAllTags) {
+      EXPECT_EQ(Rng(seed).fork(tag).seed(), CounterRng(seed).fork(tag).key());
+      EXPECT_EQ(Rng(seed).fork(tag).fork(streams::kArrival).seed(),
+                CounterRng(seed).fork(tag).fork(streams::kArrival).key());
+    }
+  }
+}
+
+TEST(CounterRng, StreamTagsAreUnique) {
+  // Two streams sharing a tag under one seed would be identical — silently
+  // correlated draws. The shared header centralises the tags; this test is
+  // the tripwire a new tag must pass (add it to streams::kAllTags).
+  std::set<std::uint64_t> tags(streams::kAllTags.begin(), streams::kAllTags.end());
+  EXPECT_EQ(tags.size(), streams::kAllTags.size());
+  // And the forked keys they induce are pairwise distinct too.
+  std::set<std::uint64_t> keys;
+  for (const std::uint64_t tag : streams::kAllTags)
+    keys.insert(CounterRng(7).fork(tag).key());
+  EXPECT_EQ(keys.size(), streams::kAllTags.size());
+}
+
+TEST(CounterRng, DistinctHiCountersDecorrelated) {
+  // Adjacent hi counters (slots, in the lockstep engine) must behave as
+  // independent streams: leading bits agree about half the time.
+  const CounterRng rng(2026);
+  int agree = 0;
+  const int kTrials = 4096;
+  for (int i = 0; i < kTrials; ++i)
+    if ((rng.at(static_cast<std::uint64_t>(i), 0) >> 63) ==
+        (rng.at(static_cast<std::uint64_t>(i) + 1, 0) >> 63))
+      ++agree;
+  EXPECT_NEAR(static_cast<double>(agree) / kTrials, 0.5, 0.05);
+}
+
+TEST(CounterRng, StreamUniform01Mean) {
+  auto stream = CounterRng(11).stream(3);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = stream.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(CounterRng, StreamBinomialMean) {
+  // The distribution methods delegate to the same rng_detail templates Rng
+  // uses; one moment check over fresh per-hi streams confirms the plumbing.
+  const CounterRng rng(17);
+  double sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto stream = rng.stream(static_cast<std::uint64_t>(i));
+    sum += static_cast<double>(stream.binomial(1000, 0.3));
+  }
+  EXPECT_NEAR(sum / n, 300.0, 3.0);
 }
 
 }  // namespace
