@@ -66,6 +66,25 @@ void BM_FastCjzEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_FastCjzEngine)->Arg(1 << 14)->Arg(1 << 17);
 
+/// The quiescent-tail shape of `cr perf`'s batch cell: one batch of 256 at
+/// slot 1, i.i.d. jamming, and a horizon long enough that the empty-slot
+/// path dominates — the scalar engine's per-slot floor.
+void BM_FastCjzBatchTail(benchmark::State& state) {
+  const auto horizon = static_cast<slot_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    FunctionSet fs = functions_constant_g(4.0);
+    ComposedAdversary adv(batch_arrival(256, 1), iid_jammer(0.25));
+    SimConfig cfg;
+    cfg.horizon = horizon;
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(run_fast_cjz(fs, adv, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(horizon));
+}
+BENCHMARK(BM_FastCjzBatchTail)->Arg(1 << 20);
+
 /// Slots/second of the generic per-node engine on the same workload.
 void BM_GenericCjzEngine(benchmark::State& state) {
   const auto horizon = static_cast<slot_t>(state.range(0));

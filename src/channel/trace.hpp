@@ -21,7 +21,11 @@ class Trace {
   /// lockstep sweep holding thousands of concurrent replications needs,
   /// since the registry's composed adversaries consult exactly those
   /// counters. outcome(s) is unavailable in counting mode (CR_CHECK).
-  enum class Storage : std::uint8_t { kFull = 0, kCounting = 1 };
+  /// kDisabled keeps nothing at all: the owner promises no component ever
+  /// reads the history (the lockstep plan path, whose adversaries are
+  /// precomputed), and the engine skips record() entirely — the Trace is a
+  /// dead field. Calling record()/advance() on a disabled trace is a bug.
+  enum class Storage : std::uint8_t { kFull = 0, kCounting = 1, kDisabled = 2 };
 
   Trace() = default;
   explicit Trace(Storage storage) : storage_(storage) {}
@@ -29,6 +33,13 @@ class Trace {
   /// Record the outcome of the next slot. Outcomes must arrive in slot order
   /// starting at slot 1.
   void record(const SlotOutcome& out);
+
+  /// Account `n` slots that were provably protocol-silent without recording
+  /// them individually (the lockstep engine's idle-skip). Counting mode only:
+  /// a full trace stores per-slot outcomes and cannot have gaps. The skipped
+  /// slots carry no successes; jam accounting for them is the caller's
+  /// responsibility (the engine tallies skipped jams outside the trace).
+  void advance(slot_t n);
 
   slot_t slots() const { return slots_; }
   bool empty() const { return slots_ == 0; }

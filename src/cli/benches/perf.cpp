@@ -4,28 +4,38 @@
 // seeds and reports slots/sec and runs/sec, plus the lockstep-vs-fast_cjz
 // aggregate speedup per cell (the growth target this subcommand exists to
 // track). Numbers go to the narrative table, the optional --csv, and a JSON
-// snapshot (--json, default BENCH_6.json) that CI archives per commit so
-// throughput regressions show up as a trajectory, not an anecdote.
+// snapshot that CI archives per commit so throughput regressions show up as
+// a trajectory, not an anecdote.
 //
-//   cr perf                 # full sweep (R=1000 per fast-engine cell)
-//   cr perf --quick         # CI smoke: small horizons, R=64
+//   cr perf                          # full sweep (R=1000 per fast-engine cell)
+//   cr perf --quick                  # CI smoke: small horizons, R=64
+//   cr perf --baseline BENCH_6.json  # also print per-cell deltas vs a prior
+//                                    # snapshot; exit 1 when any fast-engine
+//                                    # cell regresses past --tolerance
+//
+// The snapshot name is derived, not hardcoded: the next BENCH_<n+1>.json
+// after the baseline (when --baseline names a BENCH_<n>.json) or after the
+// highest BENCH_<n>.json in the working directory. --json still overrides,
+// and --json "" disables the snapshot.
 //
 // Measurement notes: each (engine, scenario) cell is timed around the same
 // replication entry point the benches use (replicate_scenario), so the
 // numbers include adversary construction and per-run setup — what a real
 // sweep pays. The reference engine runs a reduced rep count (its per-run
 // cost is orders of magnitude higher and runs/sec normalises it out);
-// slots/sec counts simulated slots, so the lockstep engine's analytic tail
-// skip (engine/lockstep.hpp) legitimately counts the slots it proves it can
-// skip.
+// slots/sec counts simulated slots, so the lockstep engine's plan path and
+// analytic tail skip (engine/lockstep.hpp) legitimately count the slots
+// they prove they can skip.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "cli/benches/benches.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
@@ -46,12 +56,74 @@ struct PerfRow {
   std::string engine;
   slot_t horizon = 0;
   int reps = 0;
+  int threads = 1;
   double seconds = 0.0;
   double slots_per_sec = 0.0;
   double runs_per_sec = 0.0;
   double mean_successes = 0.0;
   double mean_sends = 0.0;
+  double speedup_vs_fast_cjz = 0.0;  ///< lockstep rows only; 0 = not applicable
 };
+
+/// BENCH_<n>.json -> n; -1 when `name` is not of that shape.
+int snapshot_index(const std::string& name) {
+  const std::string prefix = "BENCH_";
+  const std::string suffix = ".json";
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.rfind(prefix, 0) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) return -1;
+  const std::string digits = name.substr(prefix.size(),
+                                         name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return -1;
+  int value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+/// The next snapshot name in the trajectory: baseline's n+1 when --baseline
+/// names a BENCH_<n>.json, otherwise one past the highest BENCH_<n>.json in
+/// the working directory (BENCH_1.json on a clean slate).
+std::string derive_snapshot_path(const std::string& baseline_path) {
+  int highest = 0;
+  const int from_baseline =
+      snapshot_index(std::filesystem::path(baseline_path).filename().string());
+  if (from_baseline >= 0) {
+    highest = from_baseline;
+  } else {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(".", ec)) {
+      const int n = snapshot_index(entry.path().filename().string());
+      if (n > highest) highest = n;
+    }
+  }
+  return "BENCH_" + std::to_string(highest + 1) + ".json";
+}
+
+/// A baseline cell's slots/sec, or 0 when the snapshot has no matching
+/// (scenario, horizon, engine) row.
+double baseline_slots_per_sec(const JsonValue& snapshot, const PerfRow& row) {
+  const JsonValue* cells = snapshot.find("cells");
+  if (cells == nullptr || !cells->is_array()) return 0.0;
+  for (const auto& cell : cells->items()) {
+    if (!cell->is_object()) continue;
+    const JsonValue* scenario = cell->find("scenario");
+    const JsonValue* horizon = cell->find("horizon");
+    const JsonValue* engine = cell->find("engine");
+    const JsonValue* slots = cell->find("slots_per_sec");
+    if (scenario == nullptr || horizon == nullptr || engine == nullptr || slots == nullptr)
+      continue;
+    if (!scenario->is_string() || !horizon->is_number() || !engine->is_string() ||
+        !slots->is_number())
+      continue;
+    if (scenario->as_string() == row.scenario && engine->as_string() == row.engine &&
+        static_cast<slot_t>(horizon->as_number()) == row.horizon)
+      return slots->as_number();
+  }
+  return 0.0;
+}
 
 int run(int argc, const char* const* argv) {
   const BenchSpec& self = perf();
@@ -60,15 +132,30 @@ int run(int argc, const char* const* argv) {
   const int reps = driver.reps(1000, 64);
   const std::uint64_t base_seed = driver.seed(70000);
   const int threads = driver.threads();
-  const std::string json_path = driver.cli().get_string("json", "BENCH_6.json");
+  const std::string baseline_path = driver.cli().get_string("baseline", "");
+  const double tolerance = driver.cli().get_double("tolerance", 0.15);
+  const std::string json_path =
+      driver.cli().get_string("json", derive_snapshot_path(baseline_path));
+
+  std::shared_ptr<JsonValue> baseline;
+  if (!baseline_path.empty()) {
+    JsonParseResult parsed = JsonValue::parse_file(baseline_path);
+    if (!parsed.ok()) {
+      out << "perf: cannot read baseline " << baseline_path << ": " << parsed.error << "\n";
+      return 2;
+    }
+    baseline = parsed.value;
+  }
 
   // The paper_repro workload axis: batch cells at two horizons (the large
   // one is where quiescent tails dominate a scalar sweep), plus the two
   // always-active workloads where no tail skip is possible — honest
-  // lower-bound cells for the lockstep engine.
+  // lower-bound cells for the lockstep engine's plan path. Quick mode keeps
+  // a subset of the SAME cells (fewer reps) so a CI smoke's --baseline diff
+  // against a committed full snapshot has matching rows.
   const std::vector<PerfCell> cells =
       driver.quick()
-          ? std::vector<PerfCell>{{"batch", slot_t{1} << 14}, {"worst_case", slot_t{1} << 14}}
+          ? std::vector<PerfCell>{{"batch", slot_t{1} << 16}, {"worst_case", slot_t{1} << 16}}
           : std::vector<PerfCell>{{"batch", slot_t{1} << 16},
                                   {"batch", slot_t{1} << 20},
                                   {"worst_case", slot_t{1} << 16},
@@ -98,6 +185,7 @@ int run(int argc, const char* const* argv) {
       row.engine = engine_name;
       row.horizon = cell.horizon;
       row.reps = engine_reps;
+      row.threads = threads;
       row.seconds = elapsed.count();
       double slots = 0.0;
       row.mean_successes =
@@ -115,6 +203,17 @@ int run(int argc, const char* const* argv) {
     }
   }
 
+  // Attach the headline ratio to the lockstep rows so the JSON snapshot
+  // carries it as a machine-readable field, not just table narrative.
+  for (PerfRow& row : rows) {
+    if (row.engine != "lockstep") continue;
+    for (const PerfRow& fast : rows) {
+      if (fast.engine == "fast_cjz" && fast.scenario == row.scenario &&
+          fast.horizon == row.horizon && fast.slots_per_sec > 0.0)
+        row.speedup_vs_fast_cjz = row.slots_per_sec / fast.slots_per_sec;
+    }
+  }
+
   Table table({"scenario", "horizon", "engine", "reps", "seconds", "slots/sec", "runs/sec",
                "successes", "sends"});
   for (const PerfRow& row : rows)
@@ -127,17 +226,36 @@ int run(int argc, const char* const* argv) {
   // Headline: lockstep aggregate throughput over the threaded fast_cjz sweep
   // of the same cell (both sides used the same --threads).
   out << "\nlockstep speedup over fast_cjz (aggregate slots/sec, same thread count):\n";
-  for (const PerfCell& cell : cells) {
-    const PerfRow* fast = nullptr;
-    const PerfRow* lockstep = nullptr;
+  for (const PerfRow& row : rows)
+    if (row.engine == "lockstep" && row.speedup_vs_fast_cjz > 0.0)
+      out << "  " << row.scenario << " @ " << static_cast<std::uint64_t>(row.horizon) << ": "
+          << format_double(row.speedup_vs_fast_cjz, 2) << "x\n";
+
+  // Baseline comparison: per-cell slots/sec delta against the prior
+  // snapshot. Only the fast engines gate — the reference engine's 4-rep
+  // cells are too noisy to regress meaningfully.
+  int regressions = 0;
+  if (baseline != nullptr) {
+    out << "\ndelta vs " << baseline_path << " (tolerance "
+        << format_double(tolerance * 100.0, 0) << "%):\n";
+    Table delta_table({"scenario", "horizon", "engine", "baseline", "current", "delta"});
     for (const PerfRow& row : rows) {
-      if (row.scenario != cell.scenario || row.horizon != cell.horizon) continue;
-      if (row.engine == "fast_cjz") fast = &row;
-      if (row.engine == "lockstep") lockstep = &row;
+      const double before = baseline_slots_per_sec(*baseline, row);
+      if (before <= 0.0) continue;
+      const double delta = (row.slots_per_sec - before) / before;
+      const bool gates = row.engine != "generic";
+      const bool regressed = gates && delta < -tolerance;
+      if (regressed) ++regressions;
+      delta_table.add_row({row.scenario, Cell(static_cast<std::uint64_t>(row.horizon)),
+                           row.engine, Cell(before, 0), Cell(row.slots_per_sec, 0),
+                           std::string(delta >= 0.0 ? "+" : "") +
+                               format_double(delta * 100.0, 1) + "%" +
+                               (regressed ? "  REGRESSION" : "")});
     }
-    if (fast == nullptr || lockstep == nullptr || fast->slots_per_sec <= 0.0) continue;
-    out << "  " << cell.scenario << " @ " << static_cast<std::uint64_t>(cell.horizon) << ": "
-        << format_double(lockstep->slots_per_sec / fast->slots_per_sec, 2) << "x\n";
+    delta_table.print(out);
+    if (regressions > 0)
+      out << "\n" << regressions << " cell(s) regressed more than "
+          << format_double(tolerance * 100.0, 0) << "% — exiting nonzero\n";
   }
 
   const std::string csv_path = driver.csv_path("perf.csv");
@@ -154,25 +272,33 @@ int run(int argc, const char* const* argv) {
          << ",\n  \"cells\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const PerfRow& row = rows[i];
-      char buf[512];
+      char buf[640];
       std::snprintf(buf, sizeof(buf),
                     "    {\"scenario\": \"%s\", \"horizon\": %llu, \"engine\": \"%s\", "
-                    "\"reps\": %d, \"seconds\": %.6f, \"slots_per_sec\": %.1f, "
-                    "\"runs_per_sec\": %.3f, \"mean_successes\": %.2f, \"mean_sends\": %.2f}",
+                    "\"reps\": %d, \"threads\": %d, \"seconds\": %.6f, "
+                    "\"slots_per_sec\": %.1f, \"runs_per_sec\": %.3f, "
+                    "\"mean_successes\": %.2f, \"mean_sends\": %.2f",
                     row.scenario.c_str(),
                     static_cast<unsigned long long>(row.horizon), row.engine.c_str(),
-                    row.reps, row.seconds, row.slots_per_sec, row.runs_per_sec,
+                    row.reps, row.threads, row.seconds, row.slots_per_sec, row.runs_per_sec,
                     row.mean_successes, row.mean_sends);
-      json << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+      json << buf;
+      if (row.speedup_vs_fast_cjz > 0.0) {
+        std::snprintf(buf, sizeof(buf), ", \"speedup_vs_fast_cjz\": %.3f",
+                      row.speedup_vs_fast_cjz);
+        json << buf;
+      }
+      json << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
     }
     json << "  ]\n}\n";
     out << "\nperf snapshot written to " << json_path << "\n";
   }
 
-  out << "\nReading: slots/sec counts simulated slots (the lockstep engine's analytic\n"
-         "tail skip counts the slots it certifies away); runs/sec is the end-to-end\n"
-         "replication rate a sweep observes. Compare rows within a scenario cell.\n";
-  return 0;
+  out << "\nReading: slots/sec counts simulated slots (the lockstep engine's plan\n"
+         "path and analytic tail skip count the slots they certify away); runs/sec\n"
+         "is the end-to-end replication rate a sweep observes. Compare rows within\n"
+         "a scenario cell.\n";
+  return regressions > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -185,9 +311,13 @@ BenchSpec perf() {
   spec.claim = "— (performance trajectory, not a paper claim)";
   spec.outcome =
       "per (scenario × engine) timing rows plus the lockstep-vs-fast_cjz aggregate "
-      "speedup; JSON snapshot for CI trend tracking";
+      "speedup; JSON snapshot for CI trend tracking; optional delta gate vs a "
+      "prior snapshot";
   spec.flags = {
-      {"json", "JSON snapshot path (default BENCH_6.json; empty string disables)"},
+      {"json", "JSON snapshot path (default: next BENCH_<n+1>.json; empty string disables)"},
+      {"baseline", "prior snapshot to diff against (per-cell slots/sec deltas; exit 1 on "
+                   "fast-engine regressions past --tolerance)"},
+      {"tolerance", "allowed fractional slots/sec regression vs --baseline (default 0.15)"},
   };
   spec.csv_columns = {"scenario", "horizon", "engine", "reps", "seconds",
                       "slots_per_sec", "runs_per_sec", "successes", "sends"};

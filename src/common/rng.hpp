@@ -27,6 +27,15 @@
 // binomial() is exact for small n (coin-by-coin) and small mean (inversion),
 // and uses a clamped normal approximation only when n·p is large, where the
 // relative error is negligible for simulation purposes (documented below).
+//
+// Batched draws: both substrates expose block APIs that produce the same
+// values as repeated scalar draws — Rng::fill/skip walk the sequential state
+// in one call, CounterRng::fill / Stream::fill / Stream::skip evaluate
+// Philox blocks two at a time so the ten-round latency chains overlap, and
+// CounterRng::fill_keys / binomial_keys sweep one counter position across a
+// whole (seed .. seed+R) replication axis in one pass. Every batched call is
+// bit-identical to the equivalent scalar loop (asserted in tests/test_rng.cpp);
+// the lockstep engine leans on this equivalence for its skip certificates.
 #pragma once
 
 #include <cmath>
@@ -184,6 +193,15 @@ class Rng {
 
   std::uint64_t next_u64();
 
+  /// Advance the state by n draws, discarding the values — exactly n
+  /// next_u64() calls, without the per-call overhead.
+  void skip(std::uint64_t n);
+
+  /// Fill out[0..n) with the next n words — bit-identical to n sequential
+  /// next_u64() calls. One call amortises the cross-TU call cost over the
+  /// whole block (the lockstep engine fills adversary-coin buffers this way).
+  void fill(std::uint64_t* out, std::size_t n);
+
   /// Uniform double in [0, 1) with 53 random bits.
   double uniform01();
 
@@ -244,17 +262,79 @@ class CounterRng {
   }
 
   /// The 128-bit Philox output block at (block, hi): two 64-bit words.
+  /// Philox2x64-10 (Salmon et al., "Parallel random numbers: as easy as
+  /// 1, 2, 3"): ten rounds of multiply-hi/lo mixing with a Weyl key
+  /// schedule. Inline so the batched fills below can pipeline several
+  /// independent blocks through the multiplier at once.
   struct Block {
     std::uint64_t w0 = 0;
     std::uint64_t w1 = 0;
   };
-  Block block(std::uint64_t blk, std::uint64_t hi) const;
+  Block block(std::uint64_t blk, std::uint64_t hi) const {
+    constexpr std::uint64_t kMult = 0xD2B74407B1CE6E93ULL;
+    constexpr std::uint64_t kWeyl = 0x9E3779B97F4A7C15ULL;
+    std::uint64_t x0 = blk;
+    std::uint64_t x1 = hi;
+    std::uint64_t k = key_;
+    for (int round = 0; round < 10; ++round) {
+      const __uint128_t prod = static_cast<__uint128_t>(kMult) * x0;
+      const auto prod_hi = static_cast<std::uint64_t>(prod >> 64);
+      const auto prod_lo = static_cast<std::uint64_t>(prod);
+      x0 = prod_hi ^ k ^ x1;
+      x1 = prod_lo;
+      k += kWeyl;
+    }
+    return {x0, x1};
+  }
 
   /// The index-th 64-bit word of the (key, hi) stream — order-independent.
   std::uint64_t at(std::uint64_t hi, std::uint64_t index) const {
     const Block b = block(index >> 1, hi);
     return (index & 1) ? b.w1 : b.w0;
   }
+
+  /// Fill out[0..n) with the stream words at indices start .. start+n-1:
+  /// bit-identical to calling at(hi, start + i) for each i, but blocks are
+  /// evaluated two at a time so their latency chains overlap.
+  void fill(std::uint64_t hi, std::uint64_t start, std::uint64_t* out, std::size_t n) const {
+    std::size_t i = 0;
+    std::uint64_t index = start;
+    if ((index & 1) != 0 && i < n) {
+      out[i++] = at(hi, index);
+      ++index;
+    }
+    while (n - i >= 4) {
+      const std::uint64_t blk = index >> 1;
+      const Block b0 = block(blk, hi);
+      const Block b1 = block(blk + 1, hi);
+      out[i] = b0.w0;
+      out[i + 1] = b0.w1;
+      out[i + 2] = b1.w0;
+      out[i + 3] = b1.w1;
+      i += 4;
+      index += 4;
+    }
+    for (; i < n; ++i, ++index) out[i] = at(hi, index);
+  }
+
+  /// Batched cross-replication draw: out[i] = the word at position (hi,
+  /// index) of the stream keyed keys[i]. One vectorizable pass — the Philox
+  /// chains of neighbouring keys are independent and evaluated pairwise.
+  static void fill_keys(const std::uint64_t* keys, std::size_t r, std::uint64_t hi,
+                        std::uint64_t index, std::uint64_t* out);
+
+  /// Same sweep producing uniform doubles in [0, 1): out[i] equals
+  /// Stream(keys[i], hi) read at `index` through uniform01's 53-bit mapping.
+  static void fill_keys_unit(const std::uint64_t* keys, std::size_t r, std::uint64_t hi,
+                             std::uint64_t index, double* out);
+
+  /// Batched small-mean binomial across the replication axis: out[i] is
+  /// bit-identical to CounterRng(keys[i]).stream(hi).binomial(n, p) — the
+  /// classification (flip, coin-by-coin vs inversion vs normal) and the
+  /// pow(q, n) anchor of the inversion branch are hoisted out of the loop,
+  /// which is what makes retiring thousands of quiescent replications cheap.
+  static void binomial_keys(const std::uint64_t* keys, std::size_t r, std::uint64_t hi,
+                            std::uint64_t n, double p, std::uint64_t* out);
 
   /// Sequential cursor over one (key, hi) stream. Satisfies
   /// UniformRandomBitGenerator; the distribution methods delegate to the
@@ -272,15 +352,44 @@ class CounterRng {
 
     result_type operator()() {
       // One Philox block yields two words; cache the second so sequential
-      // draws cost one block evaluation per two words.
+      // draws cost one block evaluation per two words. skip() can land the
+      // cursor on an odd index without having seen the block, so the spare
+      // is re-derived on demand.
       if ((index_ & 1) == 0) {
         const Block b = CounterRng(key_).block(index_ >> 1, hi_);
         spare_ = b.w1;
+        spare_valid_ = true;
         ++index_;
         return b.w0;
       }
+      if (!spare_valid_) spare_ = CounterRng(key_).block(index_ >> 1, hi_).w1;
+      spare_valid_ = false;
       ++index_;
       return spare_;
+    }
+
+    /// Advance the cursor by n words without materialising their values.
+    /// The words are still consumed — index() moves exactly as if n draws
+    /// had been made — so downstream draws stay aligned with the scalar
+    /// sequence. Used where a draw's value is provably irrelevant (e.g. the
+    /// offset into a length-1 backoff stage).
+    void skip(std::uint64_t n) {
+      index_ += n;
+      spare_valid_ = false;
+    }
+
+    /// Fill out[0..n) with the next n words — bit-identical to n sequential
+    /// operator() calls, with paired block evaluation (see CounterRng::fill).
+    void fill(std::uint64_t* out, std::size_t n) {
+      std::size_t i = 0;
+      while (i < n && (index_ & 1) != 0) out[i++] = (*this)();
+      if (i < n) {
+        CounterRng(key_).fill(hi_, index_, out + i, n - i);
+        index_ += n - i;
+        // An odd landing index means the last block's second word is still
+        // unread; re-derive it lazily if the next scalar draw needs it.
+        spare_valid_ = false;
+      }
     }
 
     double uniform01() { return rng_detail::uniform01(*this); }
@@ -290,7 +399,24 @@ class CounterRng {
     }
     bool bernoulli(double p) { return rng_detail::bernoulli(*this, p); }
     std::uint64_t binomial(std::uint64_t n, double p) {
-      return rng_detail::binomial(*this, n, p);
+      // Same distribution arithmetic as rng_detail::binomial, but the
+      // coin-by-coin branch (n <= 64) pulls its words through fill() so the
+      // Philox chains pair up. Consumed-word counts and results are
+      // bit-identical to the scalar template in every branch.
+      if (n == 0 || p <= 0.0) return 0;
+      if (p >= 1.0) return n;
+      const bool flip = p > 0.5;
+      const double q = flip ? 1.0 - p : p;
+      if (n <= 64) {
+        std::uint64_t words[64];
+        fill(words, n);
+        std::uint64_t hits = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+          hits += (static_cast<double>(words[i] >> 11) * 0x1.0p-53 < q) ? 1 : 0;
+        return flip ? n - hits : hits;
+      }
+      const std::uint64_t k = rng_detail::binomial(*this, n, q);
+      return flip ? n - k : k;
     }
     std::uint64_t geometric(double p) { return rng_detail::geometric(*this, p); }
     double normal01() { return rng_detail::normal01(*this); }
@@ -303,6 +429,7 @@ class CounterRng {
     std::uint64_t hi_ = 0;
     std::uint64_t index_ = 0;
     std::uint64_t spare_ = 0;
+    bool spare_valid_ = false;
   };
 
   Stream stream(std::uint64_t hi) const { return Stream(*this, hi); }

@@ -86,12 +86,41 @@ class CjzCore {
         config_(config),
         options_(options),
         streams_(std::move(streams)),
-        trace_(trace_storage) {}
+        trace_(trace_storage) {
+    // backoff_sends goes through a std::function; memoize the per-stage send
+    // counts once (stage k has window 2^k — 2^40 slots is beyond any horizon
+    // this simulator runs, but begin_stage still falls back past the table).
+    for (std::uint64_t k = 0; k < kSendsMemo; ++k)
+      sends_memo_[k] = fs_->backoff_sends(std::uint64_t{1} << k);
+    calendar_.reserve(64);
+  }
 
   /// Advance one slot (slots arrive in order starting at 1, every slot the
   /// driver simulates). Returns true when a stop condition tripped — the
   /// driver must not step further and should call finish().
   bool step(slot_t slot, const AdversaryAction& action, SlotObserver* observer) {
+    // Protocol-silent fast path: nobody live, nothing arriving, no cohort
+    // members and no calendar event due. Such a slot cannot consume a draw
+    // (cohort binomials need members, backoff sends need due events, stream
+    // rebinding is a pure function of the slot), so only the counters move —
+    // this is the per-slot floor the quiescent-tail perf cells measure, and
+    // skipping straight to it keeps the scalar engines' empty-horizon
+    // throughput independent of how much inlining the busy path attracts.
+    if (live_ == 0 && action.inject == 0 && cohort_members_ == 0) {
+      const slot_t due = calendar_.next_due_slot();
+      if (due == 0 || due > slot) {
+        const SlotOutcome out = resolve_slot(slot, 0, action.jam, kNoNode);
+        if (trace_.storage() != Trace::Storage::kDisabled) trace_.record(out);
+        if (config_.recording.wants_trace()) result_.slot_outcomes.push_back(out);
+        if (out.jammed) ++result_.jammed_slots;
+        if (observer != nullptr) observer->on_slot(out, 0, 0);
+        result_.slots = slot;
+        if (config_.stop_when_empty && result_.arrivals > 0) return true;
+        if (config_.stop_after_first_success && result_.successes > 0) return true;
+        return false;
+      }
+    }
+
     streams_.begin_slot(slot);
     auto& rng = streams_.main();
 
@@ -130,12 +159,12 @@ class CjzCore {
     // Cohort binomial draws.
     std::uint64_t senders = backoff_senders_.size();
     cohort_draws_.clear();
+    const int sp = parity_channel(slot);
     for (std::size_t ci = 0; ci < cohorts_.size(); ++ci) {
       Cohort& cohort = cohorts_[ci];
       const auto m = static_cast<std::uint64_t>(cohort.members.size());
       if (m == 0) continue;
       CR_DCHECK(slot > cohort.l3);
-      const int sp = parity_channel(slot);
       const double p = cjz_batch_prob(*fs_, cohort.l3, sp, sp == cohort.ctrl_parity, slot);
       const std::uint64_t c = rng.binomial(m, p);
       if (c > 0) {
@@ -158,13 +187,14 @@ class CjzCore {
         winner_idx = cohort.members[pos];
         cohort.members[pos] = cohort.members.back();
         cohort.members.pop_back();
+        --cohort_members_;
         cohort_winner = true;
       }
       winner = nodes_[winner_idx].id;
     }
 
     const SlotOutcome out = resolve_slot(slot, senders, action.jam, winner);
-    trace_.record(out);
+    if (trace_.storage() != Trace::Storage::kDisabled) trace_.record(out);
     if (config_.recording.wants_trace()) result_.slot_outcomes.push_back(out);
     if (out.jammed) ++result_.jammed_slots;
     if (observer != nullptr) observer->on_slot(out, action.inject, live_now);
@@ -229,6 +259,32 @@ class CjzCore {
   }
 
   std::uint64_t live() const { return live_; }
+
+  /// Lockstep idle-skip hint: assuming no arrivals, the earliest slot at
+  /// which step() could consume a random draw or change any counter beyond
+  /// the slot count itself. Returns 0 ("step every slot") while any cohort
+  /// holds members — cohort binomials are drawn each slot — and otherwise
+  /// the calendar's next event slot (conservative: stale events wake the
+  /// core for a draw-free step). A core with an empty calendar and no
+  /// cohort members can do nothing until the next arrival, encoded as a
+  /// wake-up beyond the horizon.
+  slot_t next_event_slot() const {
+    if (cohort_members_ > 0) return 0;
+    const slot_t due = calendar_.next_due_slot();
+    return due == 0 ? config_.horizon + 1 : due;
+  }
+
+  /// Plan-path helper: discard calendar events due strictly before `slot`.
+  /// The caller must guarantee they are all stale — live() == 0 does, since
+  /// every pending event's owner is then dead and would be filtered anyway.
+  /// Doing the discard with the calendar's own pop sequence keeps the heap
+  /// permutation (and so the pop order of later tied events) bit-identical
+  /// to having stepped every slot (see Calendar::drain_below).
+  void drain_stale_before(slot_t slot) {
+    CR_DCHECK(live_ == 0);
+    calendar_.drain_below(slot);
+  }
+
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
   /// Counters accumulated so far (valid between steps; finish() moves them).
@@ -259,12 +315,34 @@ class CjzCore {
     const std::uint64_t len = static_cast<std::uint64_t>(1) << k;
     const std::uint64_t vstart = len - 1;
 
-    const unsigned sends = fs_->backoff_sends(len);
+    const unsigned sends = k < kSendsMemo ? sends_memo_[k] : fs_->backoff_sends(len);
     offsets_scratch_.clear();
-    for (unsigned i = 0; i < sends; ++i) offsets_scratch_.push_back(rng.uniform_u64(len));
-    std::sort(offsets_scratch_.begin(), offsets_scratch_.end());
-    offsets_scratch_.erase(std::unique(offsets_scratch_.begin(), offsets_scratch_.end()),
-                           offsets_scratch_.end());
+    if (len == 1) {
+      // Stage 0: uniform_u64(1) consumes one word and returns 0 regardless of
+      // its value, so advance the stream without materializing the words.
+      rng.skip(sends);
+      offsets_scratch_.push_back(0);
+    } else {
+      // len is a power of two, so Lemire rejection never loops: each offset
+      // is exactly one word, equal to the multiply-shift of that word. A
+      // batched fill therefore draws bit-identical offsets to `sends`
+      // sequential uniform_u64(len) calls (asserted in tests/test_rng.cpp).
+      words_scratch_.resize(sends);
+      rng.fill(words_scratch_.data(), sends);
+      for (unsigned i = 0; i < sends; ++i)
+        offsets_scratch_.push_back(static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(words_scratch_[i]) * len) >> 64));
+      if (offsets_scratch_.size() == 2) {
+        // The common case (two sends per stage) needs no general sort.
+        if (offsets_scratch_[0] > offsets_scratch_[1])
+          std::swap(offsets_scratch_[0], offsets_scratch_[1]);
+        if (offsets_scratch_[0] == offsets_scratch_[1]) offsets_scratch_.pop_back();
+      } else if (offsets_scratch_.size() > 2) {
+        std::sort(offsets_scratch_.begin(), offsets_scratch_.end());
+        offsets_scratch_.erase(std::unique(offsets_scratch_.begin(), offsets_scratch_.end()),
+                               offsets_scratch_.end());
+      }
+    }
     for (const std::uint64_t off : offsets_scratch_) {
       const slot_t abs = n.from + 2 * (vstart + off);
       if (abs <= config_.horizon)
@@ -314,6 +392,7 @@ class CjzCore {
       } else {
         n.phase = 3;
         joiners.push_back(idx);
+        ++cohort_members_;
       }
     }
     p1_nodes_.clear();
@@ -326,6 +405,7 @@ class CjzCore {
       ++n.gen;
       n.phase = 3;
       joiners.push_back(idx);
+      ++cohort_members_;
     }
     p2_nodes_[sp].clear();
 
@@ -365,7 +445,14 @@ class CjzCore {
   std::vector<std::uint32_t> p2_nodes_[2];
   std::vector<Cohort> cohorts_;
   std::uint64_t live_ = 0;
+  /// Total members across all cohorts — kept exact so next_event_slot() is
+  /// O(1). Members enter in handle_success (the two phase-3 pushes) and leave
+  /// only as a winning cohort draw; merges move them without changing the sum.
+  std::uint64_t cohort_members_ = 0;
+  static constexpr std::uint64_t kSendsMemo = 41;
+  unsigned sends_memo_[kSendsMemo] = {};
   std::vector<std::uint64_t> offsets_scratch_;
+  std::vector<std::uint64_t> words_scratch_;
   SubsetScratch attr_scratch_;
   std::vector<std::uint32_t> backoff_senders_;
   std::vector<std::pair<std::size_t, std::uint64_t>> cohort_draws_;

@@ -6,30 +6,40 @@
 /// per-run setup, and the threaded harness buys back at most a core-count
 /// factor. The lockstep engine turns the loop inside out: it holds R
 /// replications of the SAME workload concurrently and advances all of them
-/// slot by slot in one pass, which is only possible on the counter-based RNG
-/// substrate (CounterRng) — every (replication, slot) pair owns a stream
-/// that is a pure function of (seed, stream-tag, slot), so no generator
-/// state has to persist per replication between slots.
+/// in one pass, which is only possible on the counter-based RNG substrate
+/// (CounterRng) — every (replication, slot) pair owns a stream that is a
+/// pure function of (seed, stream-tag, slot), so no generator state has to
+/// persist per replication between slots.
 ///
-/// Two things make the sweep fast:
+/// Two execution paths share the CjzCore transition:
 ///
-///   1. Per-slot work per replication is the CjzCore transition (already
-///      O(#cohorts + #due events)); the lockstep pass amortises the slot
-///      loop, the adversary-component virtual dispatch stays, but dead
-///      replications cost nothing.
+///   1. The generic path holds the live adversary components and calls them
+///      per (replication, slot) — correct for ANY registered component,
+///      including history-reading ones, and bit-exact to running the
+///      single-run counter path once per seed. Its optional analytic
+///      quiescent-tail skip (quiet_after / tail_jam, certified by the exp
+///      layer) replaces the i.i.d. jam coins of a provably-silent tail with
+///      one Binomial draw on the dedicated kLockstepTail stream — counters
+///      then match the per-slot loop exactly except jammed_slots, which
+///      matches in distribution.
 ///
-///   2. Quiescent-tail skipping: once a replication has no live nodes and
-///      the workload certificate says no further arrivals can occur
-///      (LockstepSweep::quiet_after) and the jammer's tail is i.i.d. with a
-///      known rate (tail_jam), the remaining slots are empty-or-jammed with
-///      no protocol activity — the engine draws the number of jammed tail
-///      slots from one Binomial on the dedicated kLockstepTail counter
-///      stream and skips to the horizon. Counters match the scalar engines
-///      in distribution (validated statistically in tests/test_lockstep.cpp
-///      and tests/test_cross_engine.cpp); bit-exactness with the scalar
-///      engines is not expected — the substrates draw different streams.
-///      With the tail disabled (exact mode) a lockstep sweep is bit-exact to
-///      running its own single-run path once per seed.
+///   2. The plan path (LockstepPlan) handles the common case where neither
+///      component reads the history: the adversary's entire behaviour is
+///      precomputed — deterministic arrivals/jams into a shared schedule and
+///      jam-slot list, i.i.d. coins into per-replication bitmaps batched
+///      through Rng::fill — and each replication advances event-driven: the
+///      next stepped slot is min(next certified arrival, the core's
+///      next_event_slot()), so protocol-silent slots are never stepped at
+///      all, even mid-run between arrivals. The per-slot Philox streams make
+///      the skipped slots free *and* exact: a slot with no arrival, no due
+///      calendar event and no cohort members consumes no draws and changes
+///      nothing but the slot/active/jam counters, which the engine fixes up
+///      arithmetically (jams from the precomputed bitmap — exact, not
+///      sampled). Plan-path results are bit-identical to the generic path in
+///      exact mode (asserted per-seed in tests/test_lockstep.cpp); it
+///      subsumes the analytic tail and is what makes always-active sweeps
+///      (paced or Bernoulli arrivals to the horizon) fast, not just
+///      skippable ones.
 ///
 /// The single-run entry point (run_lockstep_single, wrapped by the
 /// "lockstep" EngineRegistry entry) executes one replication on the counter
@@ -39,6 +49,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "adversary/adversary.hpp"
@@ -51,6 +62,37 @@ namespace cr {
 /// "lockstep"). `spec` must be kCjz.
 SimResult run_lockstep_single(const ProtocolSpec& spec, Adversary& adversary,
                               const SimConfig& config, SlotObserver* observer = nullptr);
+
+/// Precomputed adversary behaviour for a whole sweep (the plan path above).
+/// Only valid for workloads whose components never read the PublicHistory;
+/// the exp layer builds it from the component names (lockstep_plan in
+/// exp/workload.hpp) and leaves `valid` false for anything it cannot prove.
+///
+/// Draw-for-draw exactness contract: a replication's i.i.d. coins are drawn
+/// from the same forked xoshiro streams, in the same slot order, with the
+/// same one-word-per-coin consumption as the live components would draw them
+/// on the generic path — so the plan path reproduces the generic path's
+/// results bit-for-bit, it does not merely approximate them.
+struct LockstepPlan {
+  bool valid = false;
+
+  /// Arrival side. Either a shared deterministic schedule (strictly
+  /// increasing slots, counts > 0; shared because the plannable arrival
+  /// components are seed-independent), or per-replication Bernoulli coins:
+  /// floor(rate) certain arrivals plus one frac(rate)-coin per slot of
+  /// [from, to].
+  bool bernoulli_arrivals = false;
+  std::vector<std::pair<slot_t, std::uint64_t>> schedule;
+  double arrival_rate = 0.0;
+  slot_t arrival_from = 1;
+  slot_t arrival_to = 0;
+
+  /// Jam side. Either a shared deterministic jammed-slot list (increasing),
+  /// or per-replication i.i.d. coins at `jam_rate`.
+  bool iid_jams = false;
+  std::vector<slot_t> jam_slots;
+  double jam_rate = 0.0;
+};
 
 /// Description of a many-seed sweep. Replication r runs with seed
 /// base_seed + r; its adversary is rebuilt per replication from the two
@@ -69,12 +111,22 @@ struct LockstepSweep {
   /// Per-replication component factories (seed = that replication's seed,
   /// forwarded so construction-time randomness — e.g. uniform_random's slot
   /// schedule — varies across replications like it does across scalar runs).
+  /// Always required: the generic path is the fallback whenever the plan is
+  /// absent or the run options rule it out.
   std::function<std::unique_ptr<ArrivalProcess>(std::uint64_t seed)> make_arrival;
   std::function<std::unique_ptr<Jammer>(std::uint64_t seed)> make_jammer;
 
-  /// Quiescent-tail certificate (see file comment). analytic_tail enables
-  /// the skip; it applies only when tail_jam >= 0, the recording tier does
-  /// not keep per-slot outcomes, and config.stop_when_empty is false.
+  /// Precomputed adversary plan; `plan.valid == false` means generic path.
+  /// The engine additionally requires that no per-slot trace is recorded and
+  /// no stop flag is set (both need every slot materialized / jam coins only
+  /// up to the stop slot) — otherwise it silently uses the generic path.
+  LockstepPlan plan;
+
+  /// Quiescent-tail certificate for the generic path (see file comment).
+  /// analytic_tail enables the skip; it applies only when tail_jam >= 0, the
+  /// recording tier does not keep per-slot outcomes, and
+  /// config.stop_when_empty is false. The plan path ignores these: its jam
+  /// accounting is exact everywhere.
   bool analytic_tail = false;
   /// No arrivals can occur at any slot > quiet_after.
   slot_t quiet_after = 0;

@@ -314,6 +314,103 @@ LockstepCertificate lockstep_certificate(const WorkloadSpec& spec) {
   return cert;
 }
 
+LockstepPlan lockstep_plan(const WorkloadSpec& spec) {
+  CR_CHECK(validate_workload(spec).empty());
+  LockstepPlan plan;
+  const slot_t horizon = spec.horizon;
+
+  // Materialization scaffolding for the deterministic components: they
+  // ignore the history and the rng by contract (that is exactly what the
+  // name whitelists below assert), so a dummy history over an empty trace
+  // and a throwaway rng are safe to hand them.
+  const FunctionSet fs = functions_for_regime(spec.g_regime, spec.gamma);
+  const WorkloadContext ctx{fs, horizon, 0};
+  Trace dummy_trace(Trace::Storage::kCounting);
+  const PublicHistory dummy_history(dummy_trace);
+  Rng dummy_rng(1);
+
+  // Arrival side.
+  bool arrival_ok = false;
+  const std::string& arrival_name = spec.arrival.name;
+  if (arrival_name == "bernoulli") {
+    const auto values = component_values(ArrivalRegistry::instance().at("bernoulli"),
+                                         spec.arrival, "arrival");
+    plan.bernoulli_arrivals = true;
+    plan.arrival_rate = values.get_double("rate");
+    plan.arrival_from = static_cast<slot_t>(values.get_uint("from"));
+    const std::uint64_t to = values.get_uint("to");
+    plan.arrival_to = to == 0 ? horizon : static_cast<slot_t>(to);
+    arrival_ok = true;
+  } else if (arrival_name == "none" || arrival_name == "batch" || arrival_name == "paced" ||
+             arrival_name == "bursty") {
+    // Deterministic and seed-independent: one slot-ordered walk materializes
+    // the schedule every replication shares ("paced" is stateful, so the
+    // walk must visit every slot in order — it does).
+    const ArrivalEntry& entry = ArrivalRegistry::instance().at(arrival_name);
+    const auto values = component_values(entry, spec.arrival, "arrival");
+    const auto component = entry.make(values, ctx);
+    for (slot_t s = 1; s <= horizon; ++s) {
+      const std::uint64_t count = component->arrivals(s, dummy_history, dummy_rng);
+      if (count > 0) plan.schedule.emplace_back(s, count);
+    }
+    arrival_ok = true;
+  }
+
+  // Jam side.
+  bool jammer_ok = false;
+  const std::string& jammer_name = spec.jammer.name;
+  if (jammer_name == "iid") {
+    const auto values = component_values(JammerRegistry::instance().at("iid"), spec.jammer,
+                                         "jammer");
+    plan.iid_jams = true;
+    plan.jam_rate = values.get_double("fraction");
+    jammer_ok = true;
+  } else if (jammer_name == "none" || jammer_name == "prefix" || jammer_name == "periodic" ||
+             jammer_name == "budget_paced") {
+    const JammerEntry& entry = JammerRegistry::instance().at(jammer_name);
+    const auto values = component_values(entry, spec.jammer, "jammer");
+    const auto component = entry.make(values, ctx);
+    for (slot_t s = 1; s <= horizon; ++s)
+      if (component->jams(s, dummy_history, dummy_rng)) plan.jam_slots.push_back(s);
+    jammer_ok = true;
+  }
+
+  plan.valid = arrival_ok && jammer_ok;
+  return plan;
+}
+
+LockstepSweep lockstep_sweep(const WorkloadSpec& spec, int reps, std::uint64_t base_seed,
+                             int threads) {
+  const ArrivalEntry& arrival = ArrivalRegistry::instance().at(spec.arrival.name);
+  const ParamValues arrival_values = component_values(arrival, spec.arrival, "arrival");
+  const JammerEntry& jammer = JammerRegistry::instance().at(spec.jammer.name);
+  const ParamValues jammer_values = component_values(jammer, spec.jammer, "jammer");
+  const FunctionSet fs = functions_for_regime(spec.g_regime, spec.gamma);
+  const slot_t horizon = spec.horizon;
+
+  LockstepSweep sweep;
+  sweep.reps = reps;
+  sweep.base_seed = base_seed;
+  sweep.threads = threads;
+  // Captures are by value (the entries are registry singletons; ParamValues
+  // and FunctionSet are value types), so the sweep can outlive this frame.
+  // The per-seed context mirrors build_workload's exactly.
+  sweep.make_arrival = [&arrival, arrival_values, fs, horizon](std::uint64_t seed) {
+    const WorkloadContext ctx{fs, horizon, seed};
+    return arrival.make(arrival_values, ctx);
+  };
+  sweep.make_jammer = [&jammer, jammer_values, fs, horizon](std::uint64_t seed) {
+    const WorkloadContext ctx{fs, horizon, seed};
+    return jammer.make(jammer_values, ctx);
+  };
+  const LockstepCertificate cert = lockstep_certificate(spec);
+  sweep.analytic_tail = cert.eligible;
+  sweep.quiet_after = cert.quiet_after;
+  sweep.tail_jam = cert.tail_jam;
+  sweep.plan = lockstep_plan(spec);
+  return sweep;
+}
+
 std::vector<SimResult> replicate_workload(const Engine& engine, const WorkloadSpec& spec,
                                           int reps, std::uint64_t base_seed, int threads,
                                           const SimConfig& config_template) {
@@ -329,31 +426,7 @@ std::vector<SimResult> replicate_workload(const Engine& engine, const WorkloadSp
     config.horizon = spec.horizon;
     config.seed = base_seed;
 
-    const ArrivalEntry& arrival = ArrivalRegistry::instance().at(spec.arrival.name);
-    const ParamValues arrival_values = component_values(arrival, spec.arrival, "arrival");
-    const JammerEntry& jammer = JammerRegistry::instance().at(spec.jammer.name);
-    const ParamValues jammer_values = component_values(jammer, spec.jammer, "jammer");
-    const FunctionSet& fs = probe.fs;
-    const slot_t horizon = spec.horizon;
-
-    LockstepSweep sweep;
-    sweep.reps = reps;
-    sweep.base_seed = base_seed;
-    sweep.threads = threads;
-    // run_lockstep_many is synchronous, so capturing the locals by reference
-    // is safe; the per-seed context mirrors build_workload's exactly.
-    sweep.make_arrival = [&](std::uint64_t seed) {
-      const WorkloadContext ctx{fs, horizon, seed};
-      return arrival.make(arrival_values, ctx);
-    };
-    sweep.make_jammer = [&](std::uint64_t seed) {
-      const WorkloadContext ctx{fs, horizon, seed};
-      return jammer.make(jammer_values, ctx);
-    };
-    const LockstepCertificate cert = lockstep_certificate(spec);
-    sweep.analytic_tail = cert.eligible;
-    sweep.quiet_after = cert.quiet_after;
-    sweep.tail_jam = cert.tail_jam;
+    const LockstepSweep sweep = lockstep_sweep(spec, reps, base_seed, threads);
     return run_lockstep_many(probe.protocol, config, sweep);
   }
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/lockstep.hpp"
 #include "exp/scenarios.hpp"
 
 namespace cr {
@@ -113,6 +114,28 @@ struct LockstepCertificate {
   double tail_jam = -1.0;
 };
 LockstepCertificate lockstep_certificate(const WorkloadSpec& spec);
+
+/// Precomputed adversary plan for the lockstep plan path (see
+/// engine/lockstep.hpp LockstepPlan), derived from the component names:
+/// seed- and history-independent components ("none"/"batch"/"paced"/"bursty"
+/// arrivals; "none"/"prefix"/"periodic"/"budget_paced" jammers) are walked
+/// once over the slot axis into a shared schedule / jam-slot list, and the
+/// i.i.d. components ("bernoulli" arrivals, "iid" jammers) become
+/// per-replication coin parameters the engine batches through Rng::fill.
+/// Anything else — history-reading ("reactive") or seed-dependent
+/// ("uniform_random") — leaves `valid` false and the sweep runs the generic
+/// per-slot path. Plan-path results are bit-identical to the generic path
+/// (tests/test_lockstep.cpp PlanPath* tests).
+LockstepPlan lockstep_plan(const WorkloadSpec& spec);
+
+/// The LockstepSweep replicate_workload hands to run_lockstep_many for
+/// `spec`: registry-built per-seed component factories, the quiescent-tail
+/// certificate, and the adversary plan. Exposed so tests can run the same
+/// sweep with the plan toggled off and assert the plan path is bit-identical
+/// to the generic per-slot path. The returned sweep owns everything its
+/// factories capture (safe to outlive this call).
+LockstepSweep lockstep_sweep(const WorkloadSpec& spec, int reps, std::uint64_t base_seed,
+                             int threads);
 
 /// Replicate `spec` over seeds base_seed .. base_seed+reps-1 on `engine` and
 /// return the results in seed order. `config_template` supplies the run

@@ -18,15 +18,6 @@ double cjz_data_prob(const FunctionSet& /*fs*/, slot_t l3, slot_t now) {
   return FunctionSet::h_data(static_cast<double>(k));
 }
 
-double cjz_batch_prob(const FunctionSet& fs, slot_t l3, int proc_parity, bool ctrl, slot_t now) {
-  CR_DCHECK(parity_channel(now) == proc_parity);
-  const slot_t first = cjz_first_after(l3, proc_parity);
-  CR_DCHECK(now >= first);
-  const std::uint64_t k = (now - first) / 2 + 1;
-  return ctrl ? fs.h_ctrl(static_cast<double>(k))
-              : FunctionSet::h_data(static_cast<double>(k));
-}
-
 CjzNode::CjzNode(const FunctionSet* fs, slot_t arrival, Rng& /*rng*/, CjzOptions options)
     : fs_(fs), opts_(options), backoff_(fs) {
   CR_CHECK(fs_ != nullptr);

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/check.hpp"
 #include "common/functions.hpp"
 #include "protocols/backoff.hpp"
 #include "protocols/protocol.hpp"
@@ -47,8 +48,17 @@ inline slot_t cjz_first_after(slot_t l3, int parity) {
 }
 /// Generalized Phase-3 probability for a batch process anchored at l3 on
 /// channel `proc_parity`; `ctrl` selects h_ctrl vs h_data. Supports the
-/// ablation variants where control may not live on parity(l3+1).
-double cjz_batch_prob(const FunctionSet& fs, slot_t l3, int proc_parity, bool ctrl, slot_t now);
+/// ablation variants where control may not live on parity(l3+1). Inline: the
+/// cohort engine evaluates this once per (cohort, slot) in its hottest loop.
+inline double cjz_batch_prob(const FunctionSet& fs, slot_t l3, int proc_parity, bool ctrl,
+                             slot_t now) {
+  CR_DCHECK(parity_channel(now) == proc_parity);
+  const slot_t first = cjz_first_after(l3, proc_parity);
+  CR_DCHECK(now >= first);
+  const std::uint64_t k = (now - first) / 2 + 1;
+  return ctrl ? fs.h_ctrl(static_cast<double>(k))
+              : FunctionSet::h_data(static_cast<double>(k));
+}
 
 /// Ablation switches for the algorithm (paper behaviour = defaults). Used
 /// by bench_ablation to quantify the design decisions of §2.1.

@@ -215,6 +215,146 @@ TEST(LockstepCertificate, UnboundedArrivalKeepsHorizon) {
   EXPECT_EQ(cert.quiet_after, 2048);
 }
 
+// ---------------------------------------------------------------------------
+// Plan path (engine/lockstep.hpp LockstepPlan) — the precomputed-adversary
+// fast path must be DRAW-FOR-DRAW identical to the generic per-slot loop,
+// not just statistically equivalent. Each spec below exercises one plan
+// shape: shared schedule × shared jam list, shared schedule × i.i.d. coins,
+// i.i.d. arrivals × i.i.d. jams, and the stateful-deterministic components.
+
+std::vector<SimResult> run_workload_sweep(const WorkloadSpec& spec, int reps,
+                                          std::uint64_t base_seed, int threads,
+                                          bool with_plan, bool with_tail = false) {
+  LockstepSweep sweep = lockstep_sweep(spec, reps, base_seed, threads);
+  EXPECT_TRUE(sweep.plan.valid) << spec.arrival.name << "+" << spec.jammer.name;
+  if (!with_plan) sweep.plan = LockstepPlan{};
+  // With the tail off, the reference is the EXACT per-slot loop: the analytic
+  // tail skip matches jam counts only in distribution, while the tail-less
+  // plan path is draw-for-draw exact — a strictly stronger contract. With the
+  // tail on (both paths honor the certificate), plan and generic must agree
+  // on the skip slot and the tail-stream binomial, bit for bit.
+  if (!with_tail) sweep.analytic_tail = false;
+  SimConfig cfg;
+  cfg.horizon = spec.horizon;
+  cfg.seed = base_seed;
+  cfg.recording = RecordingConfig::node_stats();
+  const ProtocolSpec protocol =
+      workload_protocol(spec.protocol, functions_for_regime(spec.g_regime, spec.gamma));
+  return run_lockstep_many(protocol, cfg, sweep);
+}
+
+void expect_plan_matches_generic(const WorkloadSpec& spec) {
+  const int kReps = 12;
+  const std::uint64_t kBase = 60600;
+  const auto plan = run_workload_sweep(spec, kReps, kBase, 1, true);
+  const auto generic = run_workload_sweep(spec, kReps, kBase, 1, false);
+  ASSERT_EQ(plan.size(), generic.size());
+  for (std::size_t r = 0; r < plan.size(); ++r)
+    EXPECT_EQ(plan[r], generic[r]) << spec.arrival.name << "+" << spec.jammer.name
+                                   << " rep " << r;
+}
+
+TEST(LockstepPlanPath, BatchPlusNoneMatchesGeneric) {
+  expect_plan_matches_generic(
+      make_spec({"batch", {{"n", "48"}, {"at", "3"}}}, {"none", {}}, 2048));
+}
+
+TEST(LockstepPlanPath, BatchPlusPrefixMatchesGeneric) {
+  expect_plan_matches_generic(
+      make_spec({"batch", {{"n", "32"}}}, {"prefix", {{"count", "200"}}}, 2048));
+}
+
+TEST(LockstepPlanPath, BatchPlusPeriodicMatchesGeneric) {
+  expect_plan_matches_generic(make_spec(
+      {"batch", {{"n", "32"}}}, {"periodic", {{"period", "7"}, {"burst", "2"}}}, 2048));
+}
+
+TEST(LockstepPlanPath, PacedPlusIidMatchesGeneric) {
+  // Stateful-deterministic arrivals (paced ignores history and rng but
+  // carries internal state) against per-rep i.i.d. jam coins.
+  expect_plan_matches_generic(make_spec(
+      {"paced", {{"margin", "2"}}}, {"iid", {{"fraction", "0.25"}}}, 2048));
+}
+
+TEST(LockstepPlanPath, BurstyPlusBudgetPacedMatchesGeneric) {
+  expect_plan_matches_generic(make_spec({"bursty", {{"period", "64"}, {"burst", "4"}}},
+                                        {"budget_paced", {{"margin", "2"}}}, 2048));
+}
+
+TEST(LockstepPlanPath, BernoulliPlusIidMatchesGeneric) {
+  // Both axes i.i.d. — the bernoulli_stream shape: per-rep batched coin
+  // scans on both the arrival and jam sides.
+  expect_plan_matches_generic(make_spec(
+      {"bernoulli", {{"rate", "0.15"}}}, {"iid", {{"fraction", "0.25"}}}, 2048));
+}
+
+TEST(LockstepPlanPath, BernoulliWindowMatchesGeneric) {
+  // A closed arrival window [from, to] — the coin scan must start and stop
+  // exactly where the scalar component does.
+  expect_plan_matches_generic(make_spec(
+      {"bernoulli", {{"rate", "0.3"}, {"from", "100"}, {"to", "700"}}},
+      {"iid", {{"fraction", "0.1"}}}, 2048));
+}
+
+void expect_plan_tail_matches_generic_tail(const WorkloadSpec& spec) {
+  // Both sides keep the certificate's analytic tail: the plan path must fire
+  // the skip at the same slot and draw the same tail-stream binomial as the
+  // generic per-slot loop, so the results stay bit-identical in production
+  // dispatch too (where the certificate is always honored).
+  ASSERT_TRUE(lockstep_certificate(spec).eligible)
+      << spec.arrival.name << "+" << spec.jammer.name;
+  const int kReps = 12;
+  const std::uint64_t kBase = 61600;
+  const auto plan = run_workload_sweep(spec, kReps, kBase, 1, true, true);
+  const auto generic = run_workload_sweep(spec, kReps, kBase, 1, false, true);
+  ASSERT_EQ(plan.size(), generic.size());
+  for (std::size_t r = 0; r < plan.size(); ++r)
+    EXPECT_EQ(plan[r], generic[r]) << spec.arrival.name << "+" << spec.jammer.name
+                                   << " rep " << r;
+}
+
+TEST(LockstepPlanPath, TailSkipMatchesGenericTailBatchIid) {
+  // The perf-critical batch cell shape: quiet_after is the batch slot, so
+  // once the cohort drains almost the whole horizon is tail — the lazy coin
+  // fill must stop where the generic path stops drawing.
+  expect_plan_tail_matches_generic_tail(make_spec(
+      {"batch", {{"n", "48"}, {"at", "3"}}}, {"iid", {{"fraction", "0.25"}}}, 4096));
+}
+
+TEST(LockstepPlanPath, TailSkipMatchesGenericTailBernoulliWindow) {
+  // Closed arrival window: the tail fires only after the window shuts AND
+  // the last cohort drains, whichever is later.
+  expect_plan_tail_matches_generic_tail(make_spec(
+      {"bernoulli", {{"rate", "0.3"}, {"from", "100"}, {"to", "700"}}},
+      {"iid", {{"fraction", "0.1"}}}, 4096));
+}
+
+TEST(LockstepPlanPath, TailSkipMatchesGenericTailNoArrivals) {
+  // Degenerate certificate: no arrivals at all, quiet_after = 0 — the tail
+  // fires at slot 1 and the whole run is one binomial on both paths.
+  expect_plan_tail_matches_generic_tail(
+      make_spec({"none", {}}, {"iid", {{"fraction", "0.5"}}}, 4096));
+}
+
+TEST(LockstepPlanPath, ThreadCountInvariance) {
+  const WorkloadSpec spec = make_spec({"bernoulli", {{"rate", "0.15"}}},
+                                      {"iid", {{"fraction", "0.25"}}}, 1024);
+  const auto one = run_workload_sweep(spec, 10, 9090, 1, true);
+  const auto four = run_workload_sweep(spec, 10, 9090, 4, true);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t r = 0; r < one.size(); ++r) EXPECT_EQ(one[r], four[r]) << "rep " << r;
+}
+
+TEST(LockstepPlanPath, IneligibleComponentsFallBack) {
+  // History-reading (reactive) and seed-dependent (uniform_random)
+  // components cannot be precomputed; the plan must refuse so the sweep
+  // takes the generic path.
+  EXPECT_FALSE(lockstep_plan(make_spec({"batch", {}}, {"reactive", {}})).valid);
+  EXPECT_FALSE(
+      lockstep_plan(make_spec({"uniform_random", {{"total", "16"}}}, {"iid", {}})).valid);
+  EXPECT_TRUE(lockstep_plan(make_spec({"none", {}}, {"none", {}})).valid);
+}
+
 TEST(Lockstep, ReplicateScenarioStatParityWithFastCjz) {
   // End-to-end through the exp layer: a lockstep batch sweep (analytic tail
   // on, different substrate) must agree with fast_cjz on the mean success

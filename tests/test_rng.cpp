@@ -290,5 +290,169 @@ TEST(CounterRng, StreamBinomialMean) {
   EXPECT_NEAR(sum / n, 300.0, 3.0);
 }
 
+// ---------------------------------------------------------------------------
+// Batched draws — every block API must be bit-identical to the scalar loop
+// it replaces. The lockstep plan path's exactness contract rests on these.
+
+TEST(RngBatch, FillMatchesSequentialDraws) {
+  // fill(out, n) == n next_u64() calls, and the state afterwards continues
+  // the same sequence — checked across sizes including 0 and odd lengths.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000}}) {
+    Rng scalar(0xABCDEFu);
+    Rng batched(0xABCDEFu);
+    std::vector<std::uint64_t> out(n + 1, 0);
+    batched.fill(out.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(out[i], scalar.next_u64()) << "n=" << n << " i=" << i;
+    EXPECT_EQ(batched.next_u64(), scalar.next_u64()) << "state diverged after fill(" << n << ")";
+  }
+}
+
+TEST(RngBatch, SkipMatchesDiscardedDraws) {
+  for (const std::uint64_t n : {0ull, 1ull, 13ull, 4096ull}) {
+    Rng scalar(99);
+    Rng skipped(99);
+    for (std::uint64_t i = 0; i < n; ++i) scalar.next_u64();
+    skipped.skip(n);
+    EXPECT_EQ(skipped.next_u64(), scalar.next_u64()) << "n=" << n;
+  }
+}
+
+TEST(CounterRngBatch, FillMatchesAt) {
+  // CounterRng::fill over any (start, n) window — even/odd starts and block
+  // boundaries — equals the at() values position by position.
+  const CounterRng rng(0xFEEDu);
+  const std::uint64_t hi = 31;
+  for (const std::uint64_t start : {0ull, 1ull, 2ull, 7ull, 127ull}) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                std::size_t{3}, std::size_t{5}, std::size_t{64},
+                                std::size_t{65}}) {
+      std::vector<std::uint64_t> out(n + 1, 0xDEADull);
+      rng.fill(hi, start, out.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], rng.at(hi, start + i)) << "start=" << start << " n=" << n
+                                                 << " i=" << i;
+      EXPECT_EQ(out[n], 0xDEADull) << "fill wrote past n";
+    }
+  }
+}
+
+TEST(CounterRngBatch, StreamFillMatchesScalarCursor) {
+  // Stream::fill from any cursor parity, then a scalar draw: the whole
+  // interleaving must replay the pure at() sequence (spare re-derivation
+  // after an odd landing index included).
+  const CounterRng rng(505);
+  for (const std::uint64_t warmup : {0ull, 1ull, 2ull, 3ull}) {
+    auto stream = rng.stream(9);
+    std::uint64_t index = 0;
+    for (std::uint64_t i = 0; i < warmup; ++i, ++index) ASSERT_EQ(stream(), rng.at(9, index));
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                                std::size_t{8}}) {
+      std::vector<std::uint64_t> out(n, 0);
+      stream.fill(out.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], rng.at(9, index + i)) << "warmup=" << warmup << " n=" << n;
+      index += n;
+      ASSERT_EQ(stream(), rng.at(9, index)) << "scalar draw after fill diverged";
+      ++index;
+    }
+    EXPECT_EQ(stream.index(), index);
+  }
+}
+
+TEST(CounterRngBatch, StreamSkipKeepsAlignment) {
+  // skip() consumes words without materialising them; landing on an odd
+  // index must still produce the right second-of-block word next.
+  const CounterRng rng(77);
+  for (const std::uint64_t n : {0ull, 1ull, 2ull, 3ull, 9ull}) {
+    auto stream = rng.stream(4);
+    ASSERT_EQ(stream(), rng.at(4, 0));
+    stream.skip(n);
+    EXPECT_EQ(stream(), rng.at(4, 1 + n)) << "n=" << n;
+  }
+}
+
+TEST(CounterRngBatch, StreamBinomialMatchesTemplateEverywhere) {
+  // Stream::binomial's batched coin branch and flip handling must agree
+  // with rng_detail::binomial on BOTH the value and the number of words
+  // consumed, in every branch: degenerate (n=0, p<=0, p>=1), coin-by-coin
+  // (n<=64), flipped coin-by-coin (p>0.5), BINV inversion (n>64, small
+  // mean), flipped BINV, and the clamped-normal branch (large mean).
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  const Case cases[] = {{0, 0.5},    {10, 0.0},   {10, -1.0},  {10, 1.0},  {10, 2.0},
+                        {1, 0.5},    {64, 0.25},  {64, 0.75},  {500, 0.01}, {500, 0.99},
+                        {10000, 0.001}, {10000, 0.999}, {100000, 0.4}, {100000, 0.6}};
+  const CounterRng rng(0xB10Bu);
+  std::uint64_t hi = 0;
+  for (const Case& c : cases) {
+    ++hi;
+    auto batched = rng.stream(hi);
+    auto scalar = rng.stream(hi);
+    const std::uint64_t got = batched.binomial(c.n, c.p);
+    const std::uint64_t want = rng_detail::binomial(scalar, c.n, c.p);
+    EXPECT_EQ(got, want) << "n=" << c.n << " p=" << c.p;
+    EXPECT_EQ(batched.index(), scalar.index())
+        << "word consumption diverged at n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(CounterRngBatch, FillKeysMatchesPerKeyAt) {
+  // fill_keys sweeps one (hi, index) position across a replication axis of
+  // keys; each lane must equal the key's own at() — including r == 0.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t s = 0; s < 37; ++s) keys.push_back(CounterRng(1000 + s).key());
+  for (const std::size_t r : {std::size_t{0}, std::size_t{1}, std::size_t{5}, keys.size()}) {
+    for (const std::uint64_t index : {0ull, 1ull, 6ull, 7ull}) {
+      std::vector<std::uint64_t> out(r + 1, 0xDEADull);
+      CounterRng::fill_keys(keys.data(), r, 3, index, out.data());
+      for (std::size_t i = 0; i < r; ++i)
+        ASSERT_EQ(out[i], CounterRng(keys[i]).at(3, index)) << "r=" << r << " i=" << i;
+      EXPECT_EQ(out[r], 0xDEADull);
+    }
+  }
+}
+
+TEST(CounterRngBatch, FillKeysUnitMatchesUniform01Mapping) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t s = 0; s < 19; ++s) keys.push_back(CounterRng(7 * s + 1).key());
+  std::vector<double> out(keys.size(), -1.0);
+  CounterRng::fill_keys_unit(keys.data(), keys.size(), 12, 4, out.data());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint64_t w = CounterRng(keys[i]).at(12, 4);
+    ASSERT_EQ(out[i], static_cast<double>(w >> 11) * 0x1.0p-53) << "i=" << i;
+  }
+}
+
+TEST(CounterRngBatch, BinomialKeysMatchesScalarStreams) {
+  // binomial_keys hoists the branch classification out of the replication
+  // loop; every lane must still equal the key's own scalar stream.binomial —
+  // across all branches and the edge parameters.
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  const Case cases[] = {{0, 0.3},   {12, 0.0},  {12, 1.0},  {40, 0.2},  {40, 0.8},
+                        {300, 0.02}, {300, 0.98}, {50000, 0.3}, {50000, 0.7}};
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t s = 0; s < 33; ++s) keys.push_back(CounterRng(0x5EED + s).key());
+  std::uint64_t hi = 100;
+  for (const Case& c : cases) {
+    ++hi;
+    std::vector<std::uint64_t> out(keys.size(), 0xDEADull);
+    CounterRng::binomial_keys(keys.data(), keys.size(), hi, c.n, c.p, out.data());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto stream = CounterRng(keys[i]).stream(hi);
+      ASSERT_EQ(out[i], stream.binomial(c.n, c.p)) << "n=" << c.n << " p=" << c.p
+                                                   << " i=" << i;
+    }
+  }
+  // r == 0 is a no-op, not a crash.
+  CounterRng::binomial_keys(keys.data(), 0, hi, 10, 0.5, nullptr);
+}
+
 }  // namespace
 }  // namespace cr
