@@ -21,6 +21,7 @@
 #include "cli/docs_gen.hpp"
 #include "cli/suite.hpp"
 #include "common/cli.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -44,6 +45,11 @@ int usage(int exit_code) {
                "      --force        rerun cells whose CSV already exists\n"
                "  cr suite expand <manifest> [--shard=i/n] [--quick] [--out=DIR]\n"
                "                                      print the cell plan, run nothing\n"
+               "  cr verify <out_dir> [flags...]      check every registered paper claim\n"
+               "                                      against a suite run's CSVs and write\n"
+               "                                      <out_dir>/verify_report.json\n"
+               "      --quick        evidence came from a --quick run (quick cells/bounds)\n"
+               "      --report=PATH  write the report JSON to PATH instead\n"
                "  cr version                          git SHA, build type, C++ standard\n"
                "  cr help                             this text\n");
   return exit_code;
@@ -121,6 +127,34 @@ int run_suite_cmd(const std::string& sub, int argc, const char* const* argv) {
   return cr::run_suite(loaded.spec, opts, std::cout);
 }
 
+int run_verify_cmd(int argc, const char* const* argv) {
+  const cr::Cli cli(argc, argv);
+  cli.declare({"quick", "report"});
+  cli.reject_unknown();
+  cr::verify::VerifyOptions opts;
+  // Same bare-boolean-before-positional fixup as `cr suite run`: `cr verify
+  // --quick out/quick` parses "out/quick" as --quick's value.
+  std::vector<std::string> paths = cli.positional();
+  const std::string quick_value = cli.get_string("quick", "");
+  if (!quick_value.empty()) {
+    if (quick_value == "true" || quick_value == "1" || quick_value == "yes") {
+      opts.quick = true;
+    } else if (quick_value == "false" || quick_value == "0" || quick_value == "no") {
+      opts.quick = false;
+    } else {
+      paths.push_back(quick_value);
+      opts.quick = true;
+    }
+  }
+  if (paths.size() != 1) {
+    std::fprintf(stderr, "cr verify: exactly one suite output directory is required\n");
+    return 2;
+  }
+  opts.out_dir = paths[0];
+  opts.report_path = cli.get_string("report", "");
+  return cr::verify::run_verify(opts, std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -146,6 +180,7 @@ int main(int argc, char** argv) {
     const std::vector<std::string> args(argv + 2, argv + argc);
     return cr::BenchRegistry::instance().run("perf", args);
   }
+  if (cmd == "verify") return run_verify_cmd(argc - 1, argv + 1);
   if (cmd == "suite") {
     if (argc < 3 || (std::string(argv[2]) != "run" && std::string(argv[2]) != "expand")) {
       std::fprintf(stderr, "cr suite: expected \"run\" or \"expand\"\n");

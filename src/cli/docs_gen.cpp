@@ -7,6 +7,7 @@
 #include "engine/engine.hpp"
 #include "exp/scenarios.hpp"
 #include "exp/workload.hpp"
+#include "verify/claim_registry.hpp"
 
 namespace cr {
 
@@ -102,6 +103,11 @@ std::string registry_listing_text() {
   for (const std::string& name : workload_protocol_names()) os << "  " << name << "\n";
   os << "\nengines (--engine on the scenario/workload benches; others pick preferred()):\n";
   for (const std::string& name : EngineRegistry::instance().names()) os << "  " << name << "\n";
+  os << "\nclaims (cr verify <out_dir>; machine-checked against suite CSVs):\n";
+  for (const verify::ClaimSpec& spec : verify::ClaimRegistry::instance().entries())
+    os << "  " << spec.id
+       << std::string(spec.id.size() < 26 ? 26 - spec.id.size() : 1, ' ') << spec.title
+       << "\n";
   os << "\n`cr list --md` prints docs/EXPERIMENTS.md; `cr help` prints usage.\n";
   return os.str();
 }
@@ -148,11 +154,12 @@ std::string experiments_markdown() {
      << "\n"
      << "## Registries\n"
      << "\n"
-     << "Engine and workload selection go through five name-keyed registries\n"
+     << "Engine and workload selection go through six name-keyed registries\n"
      << "(`EngineRegistry` in `src/engine/engine.hpp`, `ScenarioRegistry` in\n"
      << "`src/exp/scenarios.hpp`, `BenchRegistry` in `src/cli/bench_registry.hpp`,\n"
      << "`ArrivalRegistry`/`JammerRegistry` in\n"
-     << "`src/adversary/component_registry.hpp`): a bench describes *what* runs\n"
+     << "`src/adversary/component_registry.hpp`, `ClaimRegistry` in\n"
+     << "`src/verify/claim_registry.hpp`): a bench describes *what* runs\n"
      << "(a `ProtocolSpec`) and the registry picks the fastest engine that can\n"
      << "execute it (`generic` — per-node reference; `fast_cjz`, `fast_batch` —\n"
      << "cohort engines validated against it in `tests/test_cross_engine.cpp`);\n"
@@ -210,6 +217,44 @@ std::string experiments_markdown() {
     os << "\nCSV (`--csv`): " << column_list(spec) << ".\n"
        << "One row = " << md_cell(spec.csv_row_desc) << ".\n";
   }
+  os << "\n## Machine-checked claims (`cr verify`)\n"
+     << "\n"
+     << "Every paper claim the suites evidence is registered in the\n"
+     << "`ClaimRegistry` (`src/verify/claim_registry.hpp`) as an executable\n"
+     << "acceptance test over suite CSVs. `cr verify <out_dir>` evaluates all of\n"
+     << "them against a `cr suite run` output directory, prints the verdict\n"
+     << "table, writes `<out_dir>/verify_report.json` (schema\n"
+     << "`cr-verify-report/1`: per-claim verdict, observed values, bound, and\n"
+     << "evidence-cell provenance keyed by the run manifest's `config_hash`),\n"
+     << "and exits nonzero iff any claim fails — CI gates on\n"
+     << "`cr verify --quick` after running `suites/quick.json --quick`.\n"
+     << "`--quick` selects the quick evidence cells and the widened bounds\n"
+     << "below; `tests/test_claims.cpp` evaluates the same registry in-process,\n"
+     << "so gtest and the CLI cannot drift apart.\n"
+     << "\n"
+     << "| Claim | Title | Bound (full) | Bound (`--quick`) | Evidence cells | Columns |\n"
+     << "| --- | --- | --- | --- | --- | --- |\n";
+  for (const verify::ClaimSpec& spec : verify::ClaimRegistry::instance().entries()) {
+    std::string cells, quick_cells, columns;
+    for (const std::string& cell : spec.cells) {
+      if (!cells.empty()) cells += ", ";
+      cells += "`" + cell + "`";
+    }
+    for (const std::string& cell : spec.quick_cells) {
+      if (!quick_cells.empty()) quick_cells += ", ";
+      quick_cells += "`" + cell + "`";
+    }
+    if (!quick_cells.empty()) cells += " (quick: " + quick_cells + ")";
+    for (const std::string& column : spec.columns) {
+      if (!columns.empty()) columns += ", ";
+      columns += "`" + column + "`";
+    }
+    os << "| `" << spec.id << "` | " << md_cell(spec.title) << " | " << md_cell(spec.bound)
+       << " | " << md_cell(spec.quick_bound.empty() ? "same" : spec.quick_bound) << " | "
+       << cells << " | " << columns << " |\n";
+  }
+  os << "\nEach claim's full statement lives in `src/verify/claims.cpp` next to\n"
+     << "its check; the \"add a claim\" recipe is in `docs/ARCHITECTURE.md`.\n";
   os << "\n## Named scenarios\n"
      << "\n"
      << "`ScenarioRegistry` entries (parameterised by `ScenarioParams`; run any\n"
@@ -287,8 +332,9 @@ std::string experiments_markdown() {
      << "- `cr suite expand` prints the cell plan without running anything.\n"
      << "\n"
      << "Checked-in manifests: `suites/paper_repro.json` (every table above),\n"
-     << "`suites/quick.json` (CI-sized smoke grid; the `suite`-labelled CTest\n"
-     << "entries run it).\n"
+     << "`suites/quick.json` (CI-sized smoke grid covering every claim's quick\n"
+     << "evidence cells; the `suite`-labelled CTest entries run it with\n"
+     << "`--quick`, and `cr verify --quick` gates on the result).\n"
      << "\n"
      << "## Smoke tests\n"
      << "\n"

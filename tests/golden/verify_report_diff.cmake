@@ -1,0 +1,43 @@
+# Golden verify-report driver: run `cr verify --quick` over the evidence
+# directory the suite_run_quick fixture produced and byte-compare the
+# written verify_report.json against the checked-in golden file.
+#
+# Invoked by CTest (see tests/CMakeLists.txt, FIXTURES_REQUIRED
+# quick_evidence) as
+#   cmake -DCR=<cr binary> -DEVIDENCE=<suite_quick_out> -DGOLDEN=<golden.json>
+#         -DOUT=<out.json> -P verify_report_diff.cmake
+#
+# The quick evidence run is deterministic (fixed seeds, thread-count
+# invariant, exact to_chars CSV formatting) and the report carries no
+# timestamps or machine identifiers, so the bytes reproduce across reruns
+# and --threads values on the same platform. `cr verify` must also exit 0 —
+# a failing claim fails this test before the diff does. To regenerate after
+# an intentional claim/bound/bench change:
+#   ./build/src/cr suite run suites/quick.json --quick --out=/tmp/qev --force --threads=2
+#   ./build/src/cr verify --quick /tmp/qev --report=tests/golden/verify_report_quick.json
+foreach(var CR EVIDENCE GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "verify_report_diff.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CR} verify --quick ${EVIDENCE} --report=${OUT}
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_out)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR
+    "cr verify --quick ${EVIDENCE} exited with ${run_rc} — a claim failed "
+    "or the evidence directory is unusable:\n${run_out}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "golden verify report mismatch: ${OUT} differs from ${GOLDEN}.\n"
+    "If the change is intentional, regenerate with:\n"
+    "  ${CR} verify --quick ${EVIDENCE} --report=${GOLDEN}")
+endif()

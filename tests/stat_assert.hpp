@@ -1,111 +1,13 @@
 // Statistical assertion helpers shared by the test suites.
 //
-// Monte-Carlo tests at fixed seeds fail for one of two reasons: a real
-// semantic regression, or a tolerance that was hand-tuned too tight. These
-// helpers make the tolerance policy explicit and the failure messages
-// diagnostic (both sides, their spread, and the bound that was violated),
-// replacing the bare `EXPECT_LT(a, 0.35 * b)` incantations that used to be
-// scattered through test_claims.cpp / test_properties.cpp /
-// test_cross_engine.cpp.
-//
-// All helpers return ::testing::AssertionResult — use with
-// EXPECT_TRUE(stat::means_agree(a, b, ...)).
+// The implementation lives in src/common/stat_assert.hpp so that the
+// `cr verify` claim checker evaluates the exact same predicates the tests
+// do (one assertion path, two harnesses). Each helper returns a
+// cr::stat::CheckResult whose templated conversion operator turns it into a
+// ::testing::AssertionResult at the EXPECT_TRUE call site, message intact —
+// use with EXPECT_TRUE(stat::means_agree(a, b, ...)) as before.
 #pragma once
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cmath>
-#include <sstream>
-
-#include "common/stats.hpp"
-
-namespace cr::stat {
-
-inline std::string describe(const Accumulator& acc) {
-  std::ostringstream os;
-  os << acc.mean() << " (sd=" << acc.stddev() << ", n=" << acc.count() << ")";
-  return os.str();
-}
-
-/// Scalar in [lo, hi] (inclusive).
-inline ::testing::AssertionResult in_range(double value, double lo, double hi) {
-  if (value >= lo && value <= hi) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << "value " << value << " outside [" << lo << ", " << hi << "]";
-}
-
-/// `large` grew by at least `min_factor` relative to `small` (superlinearity
-/// style checks: scaling up the instance must scale the measurement).
-inline ::testing::AssertionResult growth_at_least(double small, double large,
-                                                  double min_factor) {
-  if (large >= min_factor * small) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << "expected growth >= " << min_factor << "x but " << small << " -> " << large
-         << " is only " << (small != 0.0 ? large / small : 0.0) << "x";
-}
-
-/// `large` grew by at most `max_factor` relative to `small` (polylog style
-/// checks: scaling up the instance must NOT scale the measurement much).
-inline ::testing::AssertionResult growth_at_most(double small, double large,
-                                                 double max_factor) {
-  if (large <= max_factor * small) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << "expected growth <= " << max_factor << "x but " << small << " -> " << large
-         << " is " << (small != 0.0 ? large / small : 0.0) << "x";
-}
-
-/// The two scalars agree within a multiplicative band:
-/// min/max >= 1/max_ratio. Used for "this normalized quantity is flat"
-/// claims.
-inline ::testing::AssertionResult within_factor(double a, double b, double max_ratio) {
-  const double lo = std::min(a, b);
-  const double hi = std::max(a, b);
-  if (lo > 0.0 && hi / lo <= max_ratio) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << a << " vs " << b << " differ by " << (lo > 0.0 ? hi / lo : 0.0)
-         << "x (allowed " << max_ratio << "x)";
-}
-
-/// Two-sample agreement of means: |mean_a - mean_b| must not exceed the
-/// combined z-standard-error plus an explicit slack
-/// (abs_slack + rel_slack·max(|mean_a|, |mean_b|)). The z·SE term absorbs
-/// Monte-Carlo noise; the slack term is the tolerated systematic
-/// difference — make it 0 to assert statistical identity.
-inline ::testing::AssertionResult means_agree(const Accumulator& a, const Accumulator& b,
-                                              double z = 3.0, double rel_slack = 0.0,
-                                              double abs_slack = 0.0) {
-  const double se_a = a.count() >= 2 ? a.variance() / static_cast<double>(a.count()) : 0.0;
-  const double se_b = b.count() >= 2 ? b.variance() / static_cast<double>(b.count()) : 0.0;
-  const double se = std::sqrt(se_a + se_b);
-  const double bound =
-      z * se + abs_slack + rel_slack * std::max(std::abs(a.mean()), std::abs(b.mean()));
-  const double diff = std::abs(a.mean() - b.mean());
-  if (diff <= bound) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << "means differ by " << diff << " > bound " << bound << " (z*SE=" << z * se
-         << "): a=" << describe(a) << " b=" << describe(b);
-}
-
-/// One-sided dominance with slack: mean_a <= factor·mean_b. The classic
-/// "adaptive beats non-adaptive by a constant factor" claim shape.
-inline ::testing::AssertionResult mean_at_most(const Accumulator& a, const Accumulator& b,
-                                               double factor) {
-  if (a.mean() <= factor * b.mean()) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << "expected mean(a) <= " << factor << "*mean(b) but a=" << describe(a)
-         << " b=" << describe(b);
-}
-
-/// Empirical quantile q of the sample within [lo, hi] (fixed seeds make
-/// this deterministic; bounds encode the claim's predicted band).
-inline ::testing::AssertionResult quantile_within(const Quantiles& sample, double q, double lo,
-                                                  double hi) {
-  const double value = sample.quantile(q);
-  if (value >= lo && value <= hi) return ::testing::AssertionSuccess();
-  return ::testing::AssertionFailure()
-         << "quantile(" << q << ") = " << value << " outside [" << lo << ", " << hi
-         << "] over " << sample.size() << " samples";
-}
-
-}  // namespace cr::stat
+#include "common/stat_assert.hpp"
