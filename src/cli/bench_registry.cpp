@@ -25,6 +25,7 @@ BenchRegistry::BenchRegistry() {
   register_bench(benches::cd_contrast());
   register_bench(benches::scenario());
   register_bench(benches::workload());
+  register_bench(benches::stream());
   register_bench(benches::perf());
 }
 

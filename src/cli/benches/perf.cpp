@@ -26,6 +26,8 @@
 // slots/sec counts simulated slots, so the lockstep engine's plan path and
 // analytic tail skip (engine/lockstep.hpp) legitimately count the slots
 // they prove they can skip.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -37,6 +39,7 @@
 #include "cli/benches/benches.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
+#include "engine/fast_cjz.hpp"
 #include "exp/bench_driver.hpp"
 #include "exp/harness.hpp"
 #include "exp/scenarios.hpp"
@@ -63,6 +66,14 @@ struct PerfRow {
   double mean_successes = 0.0;
   double mean_sends = 0.0;
   double speedup_vs_fast_cjz = 0.0;  ///< lockstep rows only; 0 = not applicable
+
+  /// Memory-cell rows only (engine "fast_cjz_sparse"); all zero elsewhere.
+  bool memory_cell = false;
+  std::uint64_t peak_live_nodes = 0;     ///< max simultaneously live nodes
+  std::uint64_t node_table_slots = 0;    ///< resident node-table slots at finish
+  std::uint64_t resident_bytes = 0;      ///< node_table_slots * sizeof(Node)
+  std::uint64_t dense_extrap_bytes = 0;  ///< arrivals * sizeof(Node) — dense cost
+  std::uint64_t peak_rss_kb = 0;         ///< getrusage ru_maxrss after the run
 };
 
 /// BENCH_<n>.json -> n; -1 when `name` is not of that shape.
@@ -203,6 +214,52 @@ int run(int argc, const char* const* argv) {
     }
   }
 
+  // Memory cell: one sparse-table fast_cjz run at a streaming-scale horizon
+  // (2^24 slots of Bernoulli(0.1) arrivals — ~1.7M nodes pass through the
+  // system). reps=1 and run directly (not via replicate_scenario) because
+  // the signal is the footprint, not throughput: resident node-table bytes
+  // against the dense extrapolation (arrivals × node record), plus process
+  // peak RSS. Same horizon in quick mode so a CI smoke's --baseline diff
+  // against a committed full snapshot finds the matching row.
+  {
+    ScenarioParams params;
+    params.horizon = slot_t{1} << 24;
+    params.seed = base_seed;
+    Scenario sc = ScenarioRegistry::instance().build("bernoulli_stream", params);
+    sc.config.node_table = NodeTableKind::kSparse;
+
+    const auto start = std::chrono::steady_clock::now();
+    FastCjzSimulator sim(sc.protocol.fs, *sc.adversary, sc.config,
+                         sc.protocol.cjz_options);
+    const SimResult r = sim.run();
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    const CjzCoreMemoryStats mem = sim.memory_stats();
+
+    PerfRow row;
+    row.scenario = "bernoulli_stream";
+    row.engine = "fast_cjz_sparse";
+    row.horizon = params.horizon;
+    row.reps = 1;
+    row.threads = 1;
+    row.seconds = elapsed.count();
+    row.mean_successes = static_cast<double>(r.successes);
+    row.mean_sends = static_cast<double>(r.total_sends);
+    row.slots_per_sec =
+        row.seconds > 0.0 ? static_cast<double>(r.slots) / row.seconds : 0.0;
+    row.runs_per_sec = row.seconds > 0.0 ? 1.0 / row.seconds : 0.0;
+    row.memory_cell = true;
+    row.peak_live_nodes = mem.peak_live_nodes;
+    row.node_table_slots = mem.node_table_slots;
+    row.resident_bytes = mem.node_bytes;
+    const std::uint64_t node_record_bytes =
+        mem.node_table_slots > 0 ? mem.node_bytes / mem.node_table_slots : 0;
+    row.dense_extrap_bytes = r.arrivals * node_record_bytes;
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0)
+      row.peak_rss_kb = static_cast<std::uint64_t>(usage.ru_maxrss);
+    rows.push_back(row);
+  }
+
   // Attach the headline ratio to the lockstep rows so the JSON snapshot
   // carries it as a machine-readable field, not just table narrative.
   for (PerfRow& row : rows) {
@@ -230,6 +287,22 @@ int run(int argc, const char* const* argv) {
     if (row.engine == "lockstep" && row.speedup_vs_fast_cjz > 0.0)
       out << "  " << row.scenario << " @ " << static_cast<std::uint64_t>(row.horizon) << ": "
           << format_double(row.speedup_vs_fast_cjz, 2) << "x\n";
+
+  // Memory headline: sparse node-table footprint vs what a dense table would
+  // have resident at the same arrival count.
+  for (const PerfRow& row : rows) {
+    if (!row.memory_cell) continue;
+    const double ratio = row.resident_bytes > 0
+                             ? static_cast<double>(row.dense_extrap_bytes) /
+                                   static_cast<double>(row.resident_bytes)
+                             : 0.0;
+    out << "\nsparse node-table footprint (" << row.scenario << " @ "
+        << static_cast<std::uint64_t>(row.horizon) << ", 1 run):\n"
+        << "  peak live nodes " << row.peak_live_nodes << ", resident slots "
+        << row.node_table_slots << " (" << row.resident_bytes << " bytes); dense would hold "
+        << row.dense_extrap_bytes << " bytes — " << format_double(ratio, 0)
+        << "x smaller; process peak RSS " << row.peak_rss_kb << " KB\n";
+  }
 
   // Baseline comparison: per-cell slots/sec delta against the prior
   // snapshot. Only the fast engines gate — the reference engine's 4-rep
@@ -288,6 +361,18 @@ int run(int argc, const char* const* argv) {
                       row.speedup_vs_fast_cjz);
         json << buf;
       }
+      if (row.memory_cell) {
+        std::snprintf(buf, sizeof(buf),
+                      ", \"peak_live_nodes\": %llu, \"node_table_slots\": %llu, "
+                      "\"resident_bytes\": %llu, \"dense_extrap_bytes\": %llu, "
+                      "\"peak_rss_kb\": %llu",
+                      static_cast<unsigned long long>(row.peak_live_nodes),
+                      static_cast<unsigned long long>(row.node_table_slots),
+                      static_cast<unsigned long long>(row.resident_bytes),
+                      static_cast<unsigned long long>(row.dense_extrap_bytes),
+                      static_cast<unsigned long long>(row.peak_rss_kb));
+        json << buf;
+      }
       json << "}" << (i + 1 < rows.size() ? ",\n" : "\n");
     }
     json << "  ]\n}\n";
@@ -311,8 +396,9 @@ BenchSpec perf() {
   spec.claim = "— (performance trajectory, not a paper claim)";
   spec.outcome =
       "per (scenario × engine) timing rows plus the lockstep-vs-fast_cjz aggregate "
-      "speedup; JSON snapshot for CI trend tracking; optional delta gate vs a "
-      "prior snapshot";
+      "speedup and a sparse node-table memory cell (resident bytes vs dense "
+      "extrapolation, peak RSS); JSON snapshot for CI trend tracking; delta gate vs "
+      "a prior snapshot";
   spec.flags = {
       {"json", "JSON snapshot path (default: next BENCH_<n+1>.json; empty string disables)"},
       {"baseline", "prior snapshot to diff against (per-cell slots/sec deltas; exit 1 on "

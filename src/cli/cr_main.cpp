@@ -4,6 +4,8 @@
 //   cr bench <name> [flags…]           one experiment (cr bench <name> --help)
 //   cr perf [flags…]                   engine throughput snapshot (alias for
 //                                      `cr bench perf`)
+//   cr stream [flags…]                 streaming service mode (alias for
+//                                      `cr bench stream`)
 //   cr suite run <manifest> [flags…]   manifest-driven grid of cells
 //   cr suite expand <manifest> […]     print the cell plan, run nothing
 //   cr help                            this text
@@ -37,6 +39,10 @@ int usage(int exit_code) {
                "                                      (cr bench <name> --help for flags)\n"
                "  cr perf [flags...]                  engine throughput snapshot\n"
                "                                      (alias for cr bench perf)\n"
+               "  cr stream [flags...]                streaming service mode: ring-fed\n"
+               "                                      arrivals, windowed JSONL, bit-exact\n"
+               "                                      checkpoint/restore (alias for\n"
+               "                                      cr bench stream)\n"
                "  cr suite run <manifest> [flags...]  run a suite manifest\n"
                "      --out=DIR      override the manifest's output_dir\n"
                "      --quick        append --quick to every cell\n"
@@ -179,6 +185,10 @@ int main(int argc, char** argv) {
   if (cmd == "perf") {
     const std::vector<std::string> args(argv + 2, argv + argc);
     return cr::BenchRegistry::instance().run("perf", args);
+  }
+  if (cmd == "stream") {
+    const std::vector<std::string> args(argv + 2, argv + argc);
+    return cr::BenchRegistry::instance().run("stream", args);
   }
   if (cmd == "verify") return run_verify_cmd(argc - 1, argv + 1);
   if (cmd == "suite") {

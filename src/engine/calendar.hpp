@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "channel/types.hpp"
+#include "common/snapshot.hpp"
 
 namespace cr {
 
@@ -94,6 +95,31 @@ class Calendar {
   /// Pre-size the backing store (the lockstep engine knows a chunk's reps
   /// share similar event populations).
   void reserve(std::size_t n) { heap_.reserve(n); }
+
+  /// Serialize the heap ARRAY verbatim, in storage order — never re-heapified
+  /// on load. Equal-key elements can sit in several valid heap arrangements;
+  /// preserving the exact arrangement preserves the pop order of tied events,
+  /// which restore-then-continue bit-identity (determinism rule 8) rests on.
+  void save(SnapshotWriter& w) const {
+    w.u64(heap_.size());
+    for (const Packed& p : heap_) {
+      w.u64(p.key);
+      w.u64(p.payload);
+    }
+  }
+
+  void load(SnapshotReader& r) {
+    const std::uint64_t n = r.u64("calendar.size");
+    if (!r.check_count(n, 16, "calendar.events")) return;
+    heap_.clear();
+    heap_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Packed p;
+      p.key = r.u64("calendar.event.key");
+      p.payload = r.u64("calendar.event.payload");
+      heap_.push_back(p);
+    }
+  }
 
  private:
   struct Packed {

@@ -28,11 +28,13 @@
 #include <utility>
 #include <vector>
 
+#include "adversary/adversary.hpp"
 #include "channel/channel.hpp"
 #include "channel/trace.hpp"
 #include "common/check.hpp"
 #include "common/functions.hpp"
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "common/stream_tags.hpp"
 #include "engine/attribution.hpp"
 #include "engine/calendar.hpp"
@@ -53,6 +55,10 @@ struct SequentialCjzStreams {
   void begin_slot(slot_t) {}
   Rng& main() { return main_rng; }
   Rng& attr() { return attr_rng; }
+
+  /// Sequential streams carry generator state across slots, which CjzCore
+  /// snapshots do not serialize — see CounterCjzStreams::kSnapshotSafe.
+  static constexpr bool kSnapshotSafe = false;
 };
 
 /// Counter stream policy: per-slot Philox streams; any slot's draws are
@@ -73,6 +79,19 @@ struct CounterCjzStreams {
   }
   CounterRng::Stream& main() { return main_stream; }
   CounterRng::Stream& attr() { return attr_stream; }
+
+  /// begin_slot() rebinds both streams as a pure function of (seed, slot),
+  /// so at a slot boundary NO generator state needs to cross a snapshot —
+  /// the keystone of CjzCore::save()/load() bit-identity (determinism
+  /// rule 8 in docs/ARCHITECTURE.md).
+  static constexpr bool kSnapshotSafe = true;
+};
+
+/// Resident node-table footprint of a core — what NodeTableKind buys.
+struct CjzCoreMemoryStats {
+  std::uint64_t peak_live_nodes = 0;   ///< max simultaneous live nodes seen
+  std::uint64_t node_table_slots = 0;  ///< resident Node records (dense: total arrivals)
+  std::uint64_t node_bytes = 0;        ///< node_table_slots * sizeof(Node)
 };
 
 /// One CJZ run's state and per-slot transition. One instance per run.
@@ -86,7 +105,8 @@ class CjzCore {
         config_(config),
         options_(options),
         streams_(std::move(streams)),
-        trace_(trace_storage) {
+        trace_(trace_storage),
+        nodes_(config.node_table == NodeTableKind::kSparse) {
     // backoff_sends goes through a std::function; memoize the per-stage send
     // counts once (stage k has window 2^k — 2^40 slots is beyond any horizon
     // this simulator runs, but begin_stage still falls back past the table).
@@ -125,20 +145,19 @@ class CjzCore {
     auto& rng = streams_.main();
 
     for (std::uint64_t i = 0; i < action.inject; ++i) {
-      Node n;
-      n.id = static_cast<node_id>(nodes_.size());
+      const std::uint32_t idx = nodes_.acquire();
+      Node& n = nodes_[idx];
       n.arrival = slot;
       n.phase = 1;
       n.channel = static_cast<std::uint8_t>(parity_channel(slot));
       n.from = slot;
-      nodes_.push_back(n);
-      const auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
       p1_nodes_.push_back(idx);
       begin_stage(idx, 0, rng);
       ++live_;
     }
     result_.arrivals += action.inject;
     CR_CHECK(live_ <= config_.max_live_nodes);
+    if (live_ > peak_live_) peak_live_ = live_;
 
     const std::uint64_t live_now = live_;
     if (live_now > 0) ++result_.active_slots;
@@ -231,6 +250,11 @@ class CjzCore {
       }
 
       handle_success(slot, rng);
+      // Recycle only after handle_success: the winner may still sit in the
+      // p1/p2 membership lists it scans (filtered there by `alive`), and its
+      // pending calendar events stay stale because the slot keeps the
+      // incremented generation across reuse.
+      nodes_.release(winner_idx);
     }
 
     result_.slots = slot;
@@ -244,7 +268,13 @@ class CjzCore {
   SimResult finish(SlotObserver* observer) {
     result_.live_at_end = live_;
     if (config_.recording.wants_node_stats()) {
-      for (const auto& n : nodes_) {
+      // Collect the stranded (never-departed) nodes in arrival order. The
+      // sparse table hands slots out of a free list, so storage order is not
+      // id order there; sorting by id (a no-op for the dense table) keeps
+      // node_stats bit-identical across table kinds.
+      const std::size_t stranded_begin = result_.node_stats.size();
+      for (std::uint32_t idx = 0; idx < nodes_.slot_count(); ++idx) {
+        const Node& n = nodes_[idx];
         if (!n.alive) continue;
         NodeStats ns;
         ns.id = n.id;
@@ -253,6 +283,9 @@ class CjzCore {
         ns.sends = n.sends;
         result_.node_stats.push_back(ns);
       }
+      std::sort(result_.node_stats.begin() + static_cast<std::ptrdiff_t>(stranded_begin),
+                result_.node_stats.end(),
+                [](const NodeStats& a, const NodeStats& b) { return a.id < b.id; });
     }
     if (observer != nullptr) observer->on_run_end(result_);
     return std::move(result_);
@@ -290,6 +323,209 @@ class CjzCore {
   /// Counters accumulated so far (valid between steps; finish() moves them).
   const SimResult& partial_result() const { return result_; }
 
+  /// Resident node footprint (valid any time, including after finish()).
+  CjzCoreMemoryStats memory_stats() const {
+    CjzCoreMemoryStats s;
+    s.peak_live_nodes = peak_live_;
+    s.node_table_slots = nodes_.slot_count();
+    s.node_bytes = s.node_table_slots * sizeof(Node);
+    return s;
+  }
+
+  /// Serialize the complete core state at a slot boundary — call only after
+  /// step(k) returned and before step(k+1). Counter-stream cores only: their
+  /// per-slot streams are rebound as a pure function of (seed, slot), so no
+  /// generator state crosses the boundary. The Trace ring is NOT serialized;
+  /// snapshot-bearing cores must run with Trace::Storage::kDisabled
+  /// (enforced on load). Leads with a config echo so restoring into a
+  /// differently-configured core is a named error, never silent divergence.
+  void save(SnapshotWriter& w) const {
+    static_assert(Streams::kSnapshotSafe,
+                  "snapshots require the counter-stream policy (sequential streams "
+                  "carry RNG state between slots that save() does not serialize)");
+    w.u64(config_.horizon);
+    w.u64(config_.seed);
+    w.u8(config_.stop_when_empty ? 1 : 0);
+    w.u8(config_.stop_after_first_success ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(config_.recording.tier));
+    w.u64(config_.max_live_nodes);
+    w.u8(static_cast<std::uint8_t>(config_.node_table));
+    w.u8(options_.use_phase2 ? 1 : 0);
+    w.u8(options_.swap_channels_on_restart ? 1 : 0);
+
+    w.u64(result_.slots);
+    w.u64(result_.arrivals);
+    w.u64(result_.successes);
+    w.u64(result_.jammed_slots);
+    w.u64(result_.active_slots);
+    w.u64(result_.total_sends);
+    w.u64(result_.first_success);
+    w.u64(result_.last_success);
+    w.u64(result_.success_times.size());
+    for (const slot_t t : result_.success_times) w.u64(t);
+    w.u64(result_.node_stats.size());
+    for (const NodeStats& ns : result_.node_stats) {
+      w.u64(ns.id);
+      w.u64(ns.arrival);
+      w.u64(ns.departure);
+      w.u64(ns.sends);
+    }
+    w.u64(result_.slot_outcomes.size());
+    for (const SlotOutcome& so : result_.slot_outcomes) {
+      w.u64(so.slot);
+      w.u64(so.senders);
+      w.u8(so.jammed ? 1 : 0);
+      w.u64(so.winner);
+    }
+
+    w.u64(live_);
+    w.u64(cohort_members_);
+    w.u64(peak_live_);
+
+    nodes_.save(w);
+
+    w.u64(p1_nodes_.size());
+    for (const std::uint32_t idx : p1_nodes_) w.u32(idx);
+    for (int b = 0; b < 2; ++b) {
+      w.u64(p2_nodes_[b].size());
+      for (const std::uint32_t idx : p2_nodes_[b]) w.u32(idx);
+    }
+    w.u64(cohorts_.size());
+    for (const Cohort& c : cohorts_) {
+      w.u64(c.l3);
+      w.u8(static_cast<std::uint8_t>(c.ctrl_parity));
+      w.u64(c.members.size());
+      for (const std::uint32_t m : c.members) w.u32(m);
+    }
+
+    calendar_.save(w);
+  }
+
+  /// Inverse of save(). On any failure the reader carries a named
+  /// diagnostic and the core must be discarded (its state is unspecified but
+  /// never out of bounds). Does not call expect_end() — callers may append
+  /// their own fields after the core block.
+  void load(SnapshotReader& r) {
+    static_assert(Streams::kSnapshotSafe,
+                  "snapshots require the counter-stream policy (sequential streams "
+                  "carry RNG state between slots that load() cannot rebuild)");
+    if (trace_.storage() != Trace::Storage::kDisabled) {
+      r.fail("snapshot: restore requires a trace-disabled core (trace contents are "
+             "not serialized)");
+      return;
+    }
+    const auto echo_u64 = [&](const char* name, std::uint64_t want) {
+      const std::uint64_t got = r.u64(name);
+      if (r.ok() && got != want)
+        r.fail("snapshot: config mismatch on " + std::string(name) + " (blob " +
+               std::to_string(got) + ", run " + std::to_string(want) + ")");
+    };
+    const auto echo_u8 = [&](const char* name, std::uint8_t want) {
+      const std::uint8_t got = r.u8(name);
+      if (r.ok() && got != want)
+        r.fail("snapshot: config mismatch on " + std::string(name) + " (blob " +
+               std::to_string(got) + ", run " + std::to_string(want) + ")");
+    };
+    echo_u64("config.horizon", config_.horizon);
+    echo_u64("config.seed", config_.seed);
+    echo_u8("config.stop_when_empty", config_.stop_when_empty ? 1 : 0);
+    echo_u8("config.stop_after_first_success", config_.stop_after_first_success ? 1 : 0);
+    echo_u8("config.recording_tier", static_cast<std::uint8_t>(config_.recording.tier));
+    echo_u64("config.max_live_nodes", config_.max_live_nodes);
+    echo_u8("config.node_table", static_cast<std::uint8_t>(config_.node_table));
+    echo_u8("options.use_phase2", options_.use_phase2 ? 1 : 0);
+    echo_u8("options.swap_channels", options_.swap_channels_on_restart ? 1 : 0);
+    if (!r.ok()) return;
+
+    result_.slots = r.u64("result.slots");
+    result_.arrivals = r.u64("result.arrivals");
+    result_.successes = r.u64("result.successes");
+    result_.jammed_slots = r.u64("result.jammed_slots");
+    result_.active_slots = r.u64("result.active_slots");
+    result_.total_sends = r.u64("result.total_sends");
+    result_.first_success = r.u64("result.first_success");
+    result_.last_success = r.u64("result.last_success");
+    const std::uint64_t n_times = r.u64("result.success_times.size");
+    if (!r.check_count(n_times, 8, "result.success_times")) return;
+    result_.success_times.clear();
+    result_.success_times.reserve(n_times);
+    for (std::uint64_t i = 0; i < n_times; ++i)
+      result_.success_times.push_back(r.u64("result.success_time"));
+    const std::uint64_t n_stats = r.u64("result.node_stats.size");
+    if (!r.check_count(n_stats, 32, "result.node_stats")) return;
+    result_.node_stats.clear();
+    result_.node_stats.reserve(n_stats);
+    for (std::uint64_t i = 0; i < n_stats; ++i) {
+      NodeStats ns;
+      ns.id = r.u64("node_stat.id");
+      ns.arrival = r.u64("node_stat.arrival");
+      ns.departure = r.u64("node_stat.departure");
+      ns.sends = r.u64("node_stat.sends");
+      result_.node_stats.push_back(ns);
+    }
+    const std::uint64_t n_outcomes = r.u64("result.slot_outcomes.size");
+    if (!r.check_count(n_outcomes, 25, "result.slot_outcomes")) return;
+    result_.slot_outcomes.clear();
+    result_.slot_outcomes.reserve(n_outcomes);
+    for (std::uint64_t i = 0; i < n_outcomes; ++i) {
+      SlotOutcome so;
+      so.slot = r.u64("slot_outcome.slot");
+      so.senders = r.u64("slot_outcome.senders");
+      so.jammed = r.u8("slot_outcome.jammed") != 0;
+      so.winner = r.u64("slot_outcome.winner");
+      result_.slot_outcomes.push_back(so);
+    }
+
+    live_ = r.u64("core.live");
+    cohort_members_ = r.u64("core.cohort_members");
+    peak_live_ = r.u64("core.peak_live");
+
+    nodes_.load(r);
+    if (!r.ok()) return;
+
+    const auto read_idx = [&](const char* field) {
+      const std::uint32_t idx = r.u32(field);
+      if (r.ok() && idx >= nodes_.slot_count())
+        r.fail("snapshot: node index out of range in " + std::string(field));
+      return idx;
+    };
+    const std::uint64_t n_p1 = r.u64("core.p1.size");
+    if (!r.check_count(n_p1, 4, "core.p1")) return;
+    p1_nodes_.clear();
+    p1_nodes_.reserve(n_p1);
+    for (std::uint64_t i = 0; i < n_p1; ++i) p1_nodes_.push_back(read_idx("core.p1.entry"));
+    for (int b = 0; b < 2; ++b) {
+      const std::uint64_t n_p2 = r.u64("core.p2.size");
+      if (!r.check_count(n_p2, 4, "core.p2")) return;
+      p2_nodes_[b].clear();
+      p2_nodes_[b].reserve(n_p2);
+      for (std::uint64_t i = 0; i < n_p2; ++i)
+        p2_nodes_[b].push_back(read_idx("core.p2.entry"));
+    }
+    const std::uint64_t n_cohorts = r.u64("core.cohorts.size");
+    if (!r.check_count(n_cohorts, 17, "core.cohorts")) return;
+    cohorts_.clear();
+    cohorts_.reserve(n_cohorts);
+    for (std::uint64_t i = 0; i < n_cohorts; ++i) {
+      Cohort c;
+      c.l3 = r.u64("cohort.l3");
+      const std::uint8_t parity = r.u8("cohort.ctrl_parity");
+      if (r.ok() && parity > 1) {
+        r.fail("snapshot: cohort.ctrl_parity out of range");
+        return;
+      }
+      c.ctrl_parity = parity;
+      const std::uint64_t n_members = r.u64("cohort.members.size");
+      if (!r.check_count(n_members, 4, "cohort.members")) return;
+      c.members.reserve(n_members);
+      for (std::uint64_t m = 0; m < n_members; ++m)
+        c.members.push_back(read_idx("cohort.member"));
+      cohorts_.push_back(std::move(c));
+    }
+
+    calendar_.load(r);
+  }
+
  private:
   struct Node {
     node_id id = kNoNode;
@@ -307,6 +543,110 @@ class CjzCore {
     slot_t l3 = 0;
     int ctrl_parity = 0;
     std::vector<std::uint32_t> members;
+  };
+
+  /// Node table behind the historical "dense index" interface. Dense mode
+  /// appends forever — index == arrival order, departed nodes stay as
+  /// tombstones — so resident state is O(total arrivals). Sparse mode
+  /// recycles departed slots through a free list, shrinking residency to
+  /// O(peak live nodes). Trajectories are bit-identical across modes
+  /// because (a) table indices never feed the RNG — draws index into cohort
+  /// member POSITIONS, and membership vectors are built identically either
+  /// way; (b) a recycled slot keeps its generation counter, so calendar
+  /// events of the previous occupant stay stale under the same `gen` check
+  /// that already filters dead dense nodes; and (c) node ids come from an
+  /// arrival counter, not the table index.
+  class NodeStore {
+   public:
+    explicit NodeStore(bool reuse) : reuse_(reuse) {}
+
+    Node& operator[](std::uint32_t idx) { return slots_[idx]; }
+    const Node& operator[](std::uint32_t idx) const { return slots_[idx]; }
+
+    /// A fresh Node (id from the arrival counter, generation preserved from
+    /// the slot's previous occupant) at a stable index.
+    std::uint32_t acquire() {
+      std::uint32_t idx;
+      if (reuse_ && !free_.empty()) {
+        idx = free_.back();
+        free_.pop_back();
+        const std::uint32_t gen = slots_[idx].gen;
+        slots_[idx] = Node{};
+        slots_[idx].gen = gen;
+      } else {
+        idx = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+      }
+      slots_[idx].id = next_id_++;
+      return idx;
+    }
+
+    /// Hand a departed node's slot back for reuse (no-op in dense mode).
+    /// Call only once every membership list has dropped — or will filter by
+    /// `alive` — the index, and only after its generation was bumped.
+    void release(std::uint32_t idx) {
+      if (reuse_) free_.push_back(idx);
+    }
+
+    std::size_t slot_count() const { return slots_.size(); }
+    std::uint64_t issued_ids() const { return next_id_; }
+
+    void save(SnapshotWriter& w) const {
+      w.u64(next_id_);
+      w.u64(slots_.size());
+      for (const Node& n : slots_) {
+        w.u64(n.id);
+        w.u64(n.arrival);
+        w.u64(n.from);
+        w.u64(n.sends);
+        w.u64(n.stage);
+        w.u32(n.gen);
+        w.u8(n.phase);
+        w.u8(n.channel);
+        w.u8(n.alive ? 1 : 0);
+      }
+      w.u64(free_.size());
+      for (const std::uint32_t f : free_) w.u32(f);
+    }
+
+    void load(SnapshotReader& r) {
+      next_id_ = r.u64("nodes.next_id");
+      const std::uint64_t n_slots = r.u64("nodes.size");
+      if (!r.check_count(n_slots, 47, "nodes")) return;
+      slots_.clear();
+      slots_.reserve(n_slots);
+      for (std::uint64_t i = 0; i < n_slots; ++i) {
+        Node n;
+        n.id = r.u64("node.id");
+        n.arrival = r.u64("node.arrival");
+        n.from = r.u64("node.from");
+        n.sends = r.u64("node.sends");
+        n.stage = r.u64("node.stage");
+        n.gen = r.u32("node.gen");
+        n.phase = r.u8("node.phase");
+        n.channel = r.u8("node.channel");
+        n.alive = r.u8("node.alive") != 0;
+        slots_.push_back(n);
+      }
+      const std::uint64_t n_free = r.u64("nodes.free.size");
+      if (!r.check_count(n_free, 4, "nodes.free")) return;
+      free_.clear();
+      free_.reserve(n_free);
+      for (std::uint64_t i = 0; i < n_free; ++i) {
+        const std::uint32_t f = r.u32("nodes.free.entry");
+        if (r.ok() && f >= slots_.size()) {
+          r.fail("snapshot: free-list index out of range");
+          return;
+        }
+        free_.push_back(f);
+      }
+    }
+
+   private:
+    bool reuse_ = false;
+    std::vector<Node> slots_;
+    std::vector<std::uint32_t> free_;
+    node_id next_id_ = 0;
   };
 
   void begin_stage(std::uint32_t idx, std::uint64_t k, auto& rng) {
@@ -437,7 +777,7 @@ class CjzCore {
   Trace trace_;
   SimResult result_;
   Calendar calendar_;
-  std::vector<Node> nodes_;
+  NodeStore nodes_;
   std::vector<std::uint32_t> p1_nodes_;
   // Phase-2 nodes partitioned by the parity they are waiting on, so a
   // success transitions a whole bucket in O(1) amortized instead of
@@ -445,6 +785,8 @@ class CjzCore {
   std::vector<std::uint32_t> p2_nodes_[2];
   std::vector<Cohort> cohorts_;
   std::uint64_t live_ = 0;
+  /// High-water mark of live_ (memory_stats; sparse residency bound).
+  std::uint64_t peak_live_ = 0;
   /// Total members across all cohorts — kept exact so next_event_slot() is
   /// O(1). Members enter in handle_success (the two phase-3 pushes) and leave
   /// only as a winning cohort draw; merges move them without changing the sum.

@@ -23,6 +23,7 @@ SimResult FastCjzSimulator::run() {
     const AdversaryAction action = adversary_.on_slot(slot, history, rng_adv);
     if (core.step(slot, action, observer_)) break;
   }
+  memory_stats_ = core.memory_stats();
   SimResult result = core.finish(observer_);
   trace_ = std::move(core.trace());
   return result;

@@ -35,6 +35,7 @@
 #include "adversary/adversary.hpp"
 #include "channel/trace.hpp"
 #include "common/functions.hpp"
+#include "engine/cjz_core.hpp"
 #include "engine/sim_result.hpp"
 #include "protocols/cjz_node.hpp"
 
@@ -57,6 +58,12 @@ class FastCjzSimulator {
   /// Ground-truth trace of the last run (valid after run()).
   const Trace& trace() const { return trace_; }
 
+  /// Resident node-table footprint of the last run (valid after run()).
+  /// With SimConfig::node_table == kSparse, node_table_slots tracks peak
+  /// live nodes instead of total arrivals — the memory cell in `cr perf`
+  /// reports both against the dense extrapolation (arrivals * sizeof(Node)).
+  CjzCoreMemoryStats memory_stats() const { return memory_stats_; }
+
  private:
   FunctionSet fs_;
   Adversary& adversary_;
@@ -64,6 +71,7 @@ class FastCjzSimulator {
   CjzOptions options_;
   SlotObserver* observer_ = nullptr;
   Trace trace_;
+  CjzCoreMemoryStats memory_stats_;
 };
 
 /// Convenience one-shot runner.

@@ -1,0 +1,210 @@
+#include "engine/stream.hpp"
+
+#include <cstdio>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/stream_tags.hpp"
+
+namespace cr {
+
+namespace {
+
+SimConfig stream_config(const StreamOptions& o) {
+  SimConfig c;
+  c.horizon = kStreamHorizon;
+  c.seed = o.seed;
+  c.recording = RecordingConfig::none();
+  c.node_table = o.node_table;
+  return c;
+}
+
+using ull = unsigned long long;
+
+}  // namespace
+
+StreamSim::StreamSim(const StreamOptions& opts)
+    : opts_(opts),
+      core_(&fs_, stream_config(opts), CjzOptions{}, CounterCjzStreams(opts.seed),
+            Trace::Storage::kDisabled),
+      windowed_(opts.window) {
+  windowed_.set_sink([this](const WindowStats& ws) { emit_window(ws); });
+}
+
+void StreamSim::emit_window(const WindowStats& ws) {
+  ++windows_emitted_;
+  if (out_ == nullptr) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"window\":%llu,\"start\":%llu,\"end\":%llu,\"arrivals\":%llu,"
+                "\"successes\":%llu,\"jammed\":%llu,\"sends\":%llu,\"live_max\":%llu,"
+                "\"live_end\":%llu,\"live_mean\":%.6f}",
+                static_cast<ull>(windows_emitted_), static_cast<ull>(ws.start),
+                static_cast<ull>(ws.end), static_cast<ull>(ws.arrivals),
+                static_cast<ull>(ws.successes), static_cast<ull>(ws.jammed),
+                static_cast<ull>(ws.sends), static_cast<ull>(ws.live_max),
+                static_cast<ull>(ws.live_end), ws.live_mean);
+  *out_ << buf << '\n';
+  out_->flush();
+}
+
+void StreamSim::step_slot(slot_t slot, const AdversaryAction& action) {
+  // No stop flags are set in streaming configs, so step() never trips.
+  (void)core_.step(slot, action, &windowed_);
+  cur_slot_ = slot;
+  if (checkpoint_sink_ && opts_.checkpoint_every > 0 && slot % opts_.checkpoint_every == 0)
+    checkpoint_sink_(snapshot());
+}
+
+StreamRunSummary StreamSim::run(EventRing& ring, std::ostream& out) {
+  out_ = &out;
+  StreamRunSummary s;
+  bool stop_max = false;
+  for (;;) {
+    if (opts_.max_windows > 0 && windows_emitted_ >= opts_.max_windows) {
+      stop_max = true;
+      break;
+    }
+    if (!has_pending_) {
+      if (!ring.try_pop(pending_)) {
+        if (ring.exhausted()) break;
+        std::this_thread::yield();
+        continue;
+      }
+      has_pending_ = true;
+    }
+    if (pending_.slot <= cur_slot_) {
+      s.error = "stream: feed slot " + std::to_string(pending_.slot) +
+                " is not ahead of the simulation (at slot " + std::to_string(cur_slot_) +
+                "); feed slots must be strictly increasing";
+      break;
+    }
+    const slot_t next = cur_slot_ + 1;
+    if (next < pending_.slot) {
+      step_slot(next, AdversaryAction{});
+    } else {
+      AdversaryAction action;
+      action.inject = pending_.inject;
+      action.jam = pending_.jam;
+      // Mark the event applied BEFORE stepping: a checkpoint cut inside
+      // step_slot must already account for it in the feed cursor.
+      has_pending_ = false;
+      ++events_applied_;
+      step_slot(next, action);
+    }
+  }
+
+  if (s.error.empty() && !stop_max) {
+    // EOF: pad the open window to its boundary with empty slots, which
+    // flushes it through the sink, then cut the final checkpoint and write
+    // the summary line. A max_windows stop does none of this — the restored
+    // tail re-enters here at the true EOF, so head + tail output
+    // concatenates byte-identically with the uninterrupted run.
+    while (cur_slot_ % opts_.window != 0) step_slot(cur_slot_ + 1, AdversaryAction{});
+    if (checkpoint_sink_) checkpoint_sink_(snapshot());
+    const SimResult& pr = core_.partial_result();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"done\":true,\"slots\":%llu,\"arrivals\":%llu,\"successes\":%llu,"
+                  "\"live_at_end\":%llu,\"windows\":%llu,\"events\":%llu}",
+                  static_cast<ull>(pr.slots), static_cast<ull>(pr.arrivals),
+                  static_cast<ull>(pr.successes), static_cast<ull>(core_.live()),
+                  static_cast<ull>(windows_emitted_), static_cast<ull>(events_applied_));
+    out << buf << '\n';
+    out.flush();
+  } else if (stop_max && checkpoint_sink_) {
+    checkpoint_sink_(snapshot());
+  }
+
+  const SimResult& pr = core_.partial_result();
+  s.slots = pr.slots;
+  s.arrivals = pr.arrivals;
+  s.successes = pr.successes;
+  s.live_at_end = core_.live();
+  s.windows = windows_emitted_;
+  s.events_applied = events_applied_;
+  s.stopped_by_max_windows = stop_max;
+  out_ = nullptr;
+  return s;
+}
+
+std::vector<std::uint8_t> StreamSim::snapshot() const {
+  SnapshotWriter w;
+  core_.save(w);
+  windowed_.save(w);
+  w.u64(cur_slot_);
+  w.u64(windows_emitted_);
+  w.u64(events_applied_);
+  w.u8(has_pending_ ? 1 : 0);
+  w.u64(pending_.slot);
+  w.u64(pending_.inject);
+  w.u8(pending_.jam ? 1 : 0);
+  return w.seal(kStreamSnapshotVersion);
+}
+
+bool StreamSim::restore(const std::uint8_t* data, std::size_t size, std::string* error) {
+  SnapshotReader r(data, size, kStreamSnapshotVersion);
+  core_.load(r);
+  windowed_.load(r);
+  cur_slot_ = r.u64("stream.cur_slot");
+  windows_emitted_ = r.u64("stream.windows_emitted");
+  events_applied_ = r.u64("stream.events_applied");
+  has_pending_ = r.u8("stream.has_pending") != 0;
+  pending_.slot = r.u64("stream.pending.slot");
+  pending_.inject = r.u64("stream.pending.inject");
+  pending_.jam = r.u8("stream.pending.jam") != 0;
+  r.expect_end();
+  if (r.ok() && cur_slot_ != core_.partial_result().slots)
+    r.fail("snapshot: stream cursor disagrees with the engine slot count");
+  if (!r.ok()) {
+    if (error != nullptr) *error = r.error();
+    return false;
+  }
+  return true;
+}
+
+bool parse_stream_event(const std::string& line, StreamEvent* ev, std::string* error) {
+  if (error != nullptr) error->clear();
+  std::string s = line;
+  if (const auto hash = s.find('#'); hash != std::string::npos) s.erase(hash);
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+  if (i == s.size()) return false;  // blank / comment-only line
+
+  ull slot = 0;
+  ull inject = 0;
+  int jam = 0;
+  char trailing = '\0';
+  const int n = std::sscanf(s.c_str(), "%llu %llu %d %c", &slot, &inject, &jam, &trailing);
+  if (n < 2 || n > 3 || jam < 0 || jam > 1) {
+    if (error != nullptr)
+      *error = "stream: malformed trace line \"" + line + "\" (want: slot inject [jam01])";
+    return false;
+  }
+  if (slot == 0) {
+    if (error != nullptr) *error = "stream: trace slot 0 is invalid (slots are 1-based)";
+    return false;
+  }
+  ev->slot = static_cast<slot_t>(slot);
+  ev->inject = static_cast<std::uint64_t>(inject);
+  ev->jam = jam != 0;
+  return true;
+}
+
+std::vector<StreamEvent> synth_stream_events(std::uint64_t seed, std::uint64_t count) {
+  Rng rng = Rng(seed).fork(streams::kStreamSynth);
+  std::vector<StreamEvent> events;
+  events.reserve(count);
+  slot_t slot = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    slot += 1 + rng.uniform_u64(20);  // mean gap 11.5 -> arrival rate ~0.09
+    StreamEvent ev;
+    ev.slot = slot;
+    ev.inject = 1;
+    ev.jam = rng.uniform01() < 0.15;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+}  // namespace cr

@@ -29,10 +29,51 @@ void WindowedMetrics::on_run_end(const SimResult&) {
 
 void WindowedMetrics::flush() {
   cur_.live_mean = static_cast<double>(live_sum_) / static_cast<double>(slots_in_window_);
-  series_.push_back(cur_);
+  if (sink_) {
+    sink_(cur_);
+  } else {
+    series_.push_back(cur_);
+  }
   cur_ = WindowStats{};
   live_sum_ = 0;
   slots_in_window_ = 0;
+}
+
+void WindowedMetrics::save(SnapshotWriter& w) const {
+  w.u64(window_);
+  w.u64(cur_.start);
+  w.u64(cur_.end);
+  w.u64(cur_.arrivals);
+  w.u64(cur_.successes);
+  w.u64(cur_.jammed);
+  w.u64(cur_.sends);
+  w.u64(cur_.live_max);
+  w.u64(cur_.live_end);
+  w.f64(cur_.live_mean);
+  w.u64(live_sum_);
+  w.u64(slots_in_window_);
+  w.u64(peak_backlog_);
+}
+
+void WindowedMetrics::load(SnapshotReader& r) {
+  const std::uint64_t window = r.u64("windowed.window");
+  if (r.ok() && window != window_) {
+    r.fail("snapshot: window width mismatch (blob " + std::to_string(window) + ", run " +
+           std::to_string(window_) + ")");
+    return;
+  }
+  cur_.start = r.u64("windowed.cur.start");
+  cur_.end = r.u64("windowed.cur.end");
+  cur_.arrivals = r.u64("windowed.cur.arrivals");
+  cur_.successes = r.u64("windowed.cur.successes");
+  cur_.jammed = r.u64("windowed.cur.jammed");
+  cur_.sends = r.u64("windowed.cur.sends");
+  cur_.live_max = r.u64("windowed.cur.live_max");
+  cur_.live_end = r.u64("windowed.cur.live_end");
+  cur_.live_mean = r.f64("windowed.cur.live_mean");
+  live_sum_ = r.u64("windowed.live_sum");
+  slots_in_window_ = r.u64("windowed.slots_in_window");
+  peak_backlog_ = r.u64("windowed.peak_backlog");
 }
 
 }  // namespace cr

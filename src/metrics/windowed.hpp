@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "engine/sim_result.hpp"
 
 namespace cr {
@@ -48,6 +50,18 @@ class WindowedMetrics final : public SlotObserver {
   /// Max live population over the whole run (0 before any slot).
   std::uint64_t peak_backlog() const { return peak_backlog_; }
 
+  /// Streaming mode: deliver each completed window to `sink` instead of
+  /// accumulating it in series() — an unbounded run must not grow an
+  /// unbounded series vector. Set once, before the first slot.
+  void set_sink(std::function<void(const WindowStats&)> sink) { sink_ = std::move(sink); }
+
+  /// Serialize the open (partial) window and running aggregates. Completed
+  /// windows are NOT serialized — in streaming mode they were already
+  /// published through the sink before any checkpoint is cut.
+  void save(SnapshotWriter& w) const;
+  /// Inverse of save(); fails the reader on a window-width mismatch.
+  void load(SnapshotReader& r);
+
  private:
   void flush();
 
@@ -57,6 +71,7 @@ class WindowedMetrics final : public SlotObserver {
   std::uint64_t live_sum_ = 0;
   std::uint64_t slots_in_window_ = 0;
   std::uint64_t peak_backlog_ = 0;
+  std::function<void(const WindowStats&)> sink_;
 };
 
 }  // namespace cr
