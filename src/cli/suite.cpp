@@ -10,11 +10,15 @@
 #include <fstream>
 #include <ostream>
 #include <map>
+#include <random>
 #include <set>
 #include <sstream>
 
 #include "cli/bench_registry.hpp"
+#include "common/snapshot.hpp"
+#include "common/source_digest.hpp"
 #include "common/table.hpp"
+#include "dist/cell_cache.hpp"
 
 namespace cr {
 
@@ -176,7 +180,163 @@ std::string utc_now() {
   return buf;
 }
 
+/// Worker-unique tmp suffix (PID + random hex): two workers racing the same
+/// out_dir — or the same process writing twice — never collide on a tmp
+/// path, so nobody can rename someone else's partial write into place.
+std::string unique_tmp_suffix() {
+  static thread_local std::mt19937_64 gen(
+      std::random_device{}() ^ (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()));
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%08llx",
+                static_cast<unsigned long long>(gen() & 0xFFFFFFFFull));
+  return ".tmp-" + std::to_string(::getpid()) + "-" + buf;
+}
+
+bool read_file_bytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
 }  // namespace
+
+std::string file_fnv16(const std::string& path) {
+  std::string bytes;
+  if (!read_file_bytes(path, &bytes)) return "";
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(
+                    reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size())));
+  return buf;
+}
+
+CellRunResult run_cell(const SuiteCell& cell, const CellRunOptions& opts) {
+  namespace fs = std::filesystem;
+  CellRunResult result;
+  const std::string csv_path = opts.out_dir + "/" + cell.id + ".csv";
+  const std::string tmp_path = csv_path + unique_tmp_suffix();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+
+  CellKey key;
+  if (opts.cache != nullptr) {
+    key.config_hash = opts.config_hash;
+    key.cell_id = cell.id;
+    key.source_digest = source_digest();
+    key.quick = opts.quick;
+    CacheLookup found = opts.cache->lookup(key);
+    result.cache_note = found.diagnostic;
+    if (found.hit) {
+      // Restore through the same tmp+rename protocol as a computed cell so
+      // a concurrent reader never sees a partial CSV.
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      out << found.csv;
+      out.flush();
+      if (out) {
+        out.close();
+        std::error_code ec;
+        fs::rename(tmp_path, csv_path, ec);
+        if (!ec) {
+          result.status = "hit";
+          result.seconds = elapsed();
+          char buf[24];
+          std::snprintf(buf, sizeof buf, "%016llx",
+                        static_cast<unsigned long long>(
+                            fnv1a64(reinterpret_cast<const std::uint8_t*>(found.csv.data()),
+                                    found.csv.size())));
+          result.csv_fnv = buf;
+          return result;
+        }
+      }
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      // Restore failed (I/O): fall through and recompute.
+    }
+  }
+
+  std::vector<std::string> args;
+  for (const auto& [flag, value] : cell.flags) args.push_back("--" + flag + "=" + value);
+  if (cell.has_seed) args.push_back("--seed=" + std::to_string(cell.seed));
+  if (opts.quick) args.push_back("--quick");
+  if (opts.threads > 0) args.push_back("--threads=" + std::to_string(opts.threads));
+  args.push_back("--quiet");
+  args.push_back("--csv=" + tmp_path);
+
+  const int rc = run_cell_isolated(cell.bench, args);
+  result.seconds = elapsed();
+  std::string csv_bytes;
+  if (rc == 0 && read_file_bytes(tmp_path, &csv_bytes)) {
+    std::error_code ec;
+    fs::rename(tmp_path, csv_path, ec);
+    if (ec) {
+      fs::remove(tmp_path, ec);
+      result.status = "failed";
+      return result;
+    }
+    result.status = "ok";
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(reinterpret_cast<const std::uint8_t*>(csv_bytes.data()),
+                              csv_bytes.size())));
+    result.csv_fnv = buf;
+    if (opts.cache != nullptr) {
+      std::string store_error;
+      if (!opts.cache->store(key, csv_bytes, opts.git_sha, result.seconds, &store_error) &&
+          result.cache_note.empty())
+        result.cache_note = store_error;
+    }
+  } else {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    result.status = "failed";
+  }
+  return result;
+}
+
+PriorOutputs scan_prior_outputs(const std::string& out_dir, const std::string& config_hash,
+                                bool quick) {
+  namespace fs = std::filesystem;
+  PriorOutputs out;
+  std::error_code ec;
+  if (!fs::exists(out_dir, ec)) return out;
+  for (const auto& entry : fs::directory_iterator(out_dir, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("manifest", 0) != 0 || entry.path().extension() != ".json") continue;
+    const JsonParseResult prior = JsonValue::parse_file(entry.path().string());
+    if (!prior.ok() || !prior.value->is_object()) continue;
+    const JsonValue* hash = prior.value->find("config_hash");
+    const JsonValue* prior_quick = prior.value->find("quick");
+    const bool same_hash =
+        hash != nullptr && hash->is_string() && hash->as_string() == config_hash;
+    const bool same_quick = prior_quick != nullptr && prior_quick->is_bool() &&
+                            prior_quick->as_bool() == quick;
+    if (!same_hash || !same_quick) {
+      out.compatible = false;
+      out.message = fname + std::string(" records a different configuration") +
+                    (same_hash ? " (--quick mode differs)" : " (config hash differs)");
+      return out;
+    }
+    const JsonValue* cells = prior.value->find("cells");
+    if (cells == nullptr || !cells->is_array()) continue;
+    for (const auto& cell : cells->items()) {
+      if (!cell->is_object()) continue;
+      const JsonValue* id = cell->find("id");
+      const JsonValue* fnv = cell->find("csv_fnv");
+      if (id != nullptr && id->is_string() && fnv != nullptr && fnv->is_string() &&
+          !fnv->as_string().empty())
+        out.cell_csv_fnv.emplace(id->as_string(), fnv->as_string());
+    }
+  }
+  return out;
+}
 
 SuiteLoadResult parse_suite(const JsonValue& root, const std::string& source) {
   SuiteLoadResult out;
@@ -444,32 +604,38 @@ int run_suite(const SuiteSpec& spec, const SuiteRunOptions& opts, std::ostream& 
 
   struct CellOutcome {
     const SuiteCell* cell;
-    std::string status;  ///< "pending" | "ok" | "cached" | "failed" | "shard" | "planned"
+    /// "pending" | "ok" | "hit" (cache) | "cached" (resume) | "failed" |
+    /// "shard" | "planned"
+    std::string status;
     double seconds = 0.0;
+    std::string csv_fnv;  ///< 16-hex checksum of the cell's CSV, when known
   };
   std::vector<CellOutcome> outcomes;
   outcomes.reserve(cells.size());
   for (const SuiteCell& cell : cells)
     outcomes.push_back(
-        {&cell, cell_in_shard(cell.index, opts.shard) ? "pending" : "shard", 0.0});
+        {&cell, cell_in_shard(cell.index, opts.shard) ? "pending" : "shard", 0.0, ""});
 
   std::string manifest_path = outdir + "/manifest.json";
   if (opts.shard.count > 1)
     manifest_path = outdir + "/manifest." + std::to_string(opts.shard.index) + "of" +
                     std::to_string(opts.shard.count) + ".json";
   const std::string started = utc_now();
+  const std::string git_sha = git_head_sha(spec.source_dir);
   // Run manifest: provenance for the CSVs sitting next to it. Written once
   // up front (all in-shard cells "pending") so even a killed run leaves a
   // record of what configuration produced the outputs, and rewritten with
   // final statuses at the end. Sharded runs write distinct manifests (the
   // CSV set is the part that must be bit-identical to an unsharded run;
-  // manifests record each shard's view).
+  // manifests record each shard's view). Each finished cell records its CSV
+  // checksum (csv_fnv) so resume and `cr suite merge` can validate outputs
+  // instead of trusting any same-named file.
   const auto write_manifest = [&](double wall) {
     std::ofstream manifest(manifest_path);
     manifest << "{\n"
              << "  \"suite\": \"" << json_escape(spec.name) << "\",\n"
              << "  \"description\": \"" << json_escape(spec.description) << "\",\n"
-             << "  \"git_sha\": \"" << json_escape(git_head_sha(spec.source_dir)) << "\",\n"
+             << "  \"git_sha\": \"" << json_escape(git_sha) << "\",\n"
              << "  \"config_hash\": \"" << config_hash << "\",\n"
              << "  \"shard\": \"" << opts.shard.index << "/" << opts.shard.count << "\",\n"
              << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n"
@@ -483,12 +649,14 @@ int run_suite(const SuiteSpec& spec, const SuiteRunOptions& opts, std::ostream& 
                << json_escape(outcome.cell->bench) << "\", \"seed\": "
                << (outcome.cell->has_seed ? std::to_string(outcome.cell->seed) : "null")
                << ", \"status\": \"" << outcome.status << "\", \"seconds\": "
-               << format_double(outcome.seconds, 3) << "}"
+               << format_double(outcome.seconds, 3) << ", \"csv_fnv\": "
+               << (outcome.csv_fnv.empty() ? "null" : "\"" + outcome.csv_fnv + "\"") << "}"
                << (i + 1 < outcomes.size() ? "," : "") << "\n";
     }
     manifest << "  ]\n}\n";
   };
 
+  PriorOutputs prior;
   if (!opts.dry_run) {
     fs::create_directories(outdir);
     // Stale-output guard: any manifest already in outdir must describe the
@@ -498,78 +666,86 @@ int run_suite(const SuiteSpec& spec, const SuiteRunOptions& opts, std::ostream& 
     // new config_hash over the old data). --force reruns every cell, so it
     // may proceed regardless.
     if (!opts.force) {
-      for (const auto& entry : fs::directory_iterator(outdir)) {
-        const std::string fname = entry.path().filename().string();
-        if (fname.rfind("manifest", 0) != 0 || entry.path().extension() != ".json") continue;
-        const JsonParseResult prior = JsonValue::parse_file(entry.path().string());
-        if (!prior.ok() || !prior.value->is_object()) continue;
-        const JsonValue* hash = prior.value->find("config_hash");
-        const JsonValue* quick = prior.value->find("quick");
-        const bool same_hash = hash != nullptr && hash->is_string() &&
-                               hash->as_string() == config_hash;
-        const bool same_quick = quick != nullptr && quick->is_bool() &&
-                                quick->as_bool() == opts.quick;
-        if (!same_hash || !same_quick) {
-          log << "suite " << spec.name << ": " << outdir << "/" << fname
-              << " records a different configuration"
-              << (same_hash ? " (--quick mode differs)" : " (config hash differs)")
-              << " — refusing to resume over stale outputs; rerun with --force or a fresh "
-                 "--out\n";
-          return 1;
-        }
+      prior = scan_prior_outputs(outdir, config_hash, opts.quick);
+      if (!prior.compatible) {
+        log << "suite " << spec.name << ": " << outdir << "/" << prior.message
+            << " — refusing to resume over stale outputs; rerun with --force or a fresh "
+               "--out\n";
+        return 1;
       }
     }
     write_manifest(0.0);
   }
+  CellCache cache(opts.cache_dir);
+  const bool use_cache = !opts.cache_dir.empty() && !opts.dry_run;
+  CellRunOptions cell_opts;
+  cell_opts.out_dir = outdir;
+  cell_opts.quick = opts.quick;
+  cell_opts.threads = opts.threads;
+  cell_opts.cache = use_cache ? &cache : nullptr;
+  cell_opts.config_hash = config_hash;
+  cell_opts.git_sha = git_sha;
+
   const auto suite_t0 = std::chrono::steady_clock::now();
   int failures = 0;
-  std::size_t ran = 0, cached = 0;
+  std::size_t ran = 0, resumed = 0, hits = 0;
 
   for (const SuiteCell& cell : cells) {
     CellOutcome& outcome = outcomes[cell.index];
     const std::string csv_path = outdir + "/" + cell.id + ".csv";
-    if (cell_in_shard(cell.index, opts.shard)) {
-      std::vector<std::string> args;
-      for (const auto& [key, value] : cell.flags) args.push_back("--" + key + "=" + value);
-      if (cell.has_seed) args.push_back("--seed=" + std::to_string(cell.seed));
-      if (opts.quick) args.push_back("--quick");
-      if (opts.threads > 0) args.push_back("--threads=" + std::to_string(opts.threads));
-      args.push_back("--quiet");
+    if (!cell_in_shard(cell.index, opts.shard)) continue;
 
-      if (opts.dry_run) {
-        outcome.status = "planned";
-        log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id << ": "
-            << cell.bench;
-        for (const std::string& arg : args) log << " " << arg;
-        log << " --csv=" << csv_path << "\n";
-      } else if (!opts.force && fs::exists(csv_path)) {
+    if (opts.dry_run) {
+      outcome.status = "planned";
+      log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id << ": "
+          << cell.bench;
+      for (const auto& [key, value] : cell.flags) log << " --" << key << "=" << value;
+      if (cell.has_seed) log << " --seed=" << cell.seed;
+      if (opts.quick) log << " --quick";
+      if (opts.threads > 0) log << " --threads=" << opts.threads;
+      log << " --quiet --csv=" << csv_path << "\n";
+      continue;
+    }
+
+    if (!opts.force && fs::exists(csv_path)) {
+      // Resume path: do not trust a same-named CSV blindly. When a prior
+      // manifest recorded this cell's checksum, the bytes on disk must
+      // still match it — a truncated or hand-edited file reruns instead of
+      // poisoning the result set.
+      const std::string on_disk = file_fnv16(csv_path);
+      const auto recorded = prior.cell_csv_fnv.find(cell.id);
+      const bool valid =
+          !on_disk.empty() &&
+          (recorded == prior.cell_csv_fnv.end() || recorded->second == on_disk);
+      if (valid) {
         outcome.status = "cached";
-        ++cached;
+        outcome.csv_fnv = on_disk;
+        ++resumed;
         log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id
             << ": cached\n";
-      } else {
-        // Write to a temp path and rename on success so a killed run never
-        // leaves a partial CSV for resume to mistake for a finished cell.
-        const std::string tmp_path = csv_path + ".tmp";
-        args.push_back("--csv=" + tmp_path);
-        const auto t0 = std::chrono::steady_clock::now();
-        const int rc = run_cell_isolated(cell.bench, args);
-        outcome.seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-        if (rc == 0 && fs::exists(tmp_path)) {
-          fs::rename(tmp_path, csv_path);
-          outcome.status = "ok";
-          ++ran;
-        } else {
-          std::error_code ec;
-          fs::remove(tmp_path, ec);
-          outcome.status = "failed";
-          ++failures;
-        }
-        log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id << ": "
-            << outcome.status << " (" << format_double(outcome.seconds, 2) << "s" << ")\n";
+        continue;
       }
+      log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id
+          << ": existing CSV fails its recorded checksum — rerunning\n";
+      std::error_code ec;
+      fs::remove(csv_path, ec);
     }
+
+    const CellRunResult result = run_cell(cell, cell_opts);
+    if (!result.cache_note.empty())
+      log << "  [cache] " << result.cache_note << "\n";
+    outcome.status = result.status;
+    outcome.seconds = result.seconds;
+    outcome.csv_fnv = result.csv_fnv;
+    if (result.status == "failed") {
+      ++failures;
+    } else if (result.status == "hit") {
+      ++hits;
+    } else {
+      ++ran;
+    }
+    log << "  [" << cell.index + 1 << "/" << cells.size() << "] " << cell.id << ": "
+        << outcome.status << " (" << format_double(outcome.seconds, 2) << "s" << ")\n";
   }
 
   const double wall =
@@ -580,8 +756,12 @@ int run_suite(const SuiteSpec& spec, const SuiteRunOptions& opts, std::ostream& 
   }
   write_manifest(wall);
 
-  log << "suite " << spec.name << ": " << ran << " ran, " << cached << " cached, " << failures
-      << " failed in " << format_double(wall, 2) << "s" << "; manifest " << manifest_path << "\n";
+  log << "suite " << spec.name << ": " << ran << " ran, " << resumed << " cached, " << hits
+      << " cache hits, " << failures << " failed in " << format_double(wall, 2) << "s"
+      << "; manifest " << manifest_path << "\n";
+  if (use_cache)
+    log << "cache " << opts.cache_dir << ": " << hits << " hits, " << ran + failures
+        << " misses\n";
   return failures == 0 ? 0 : 1;
 }
 

@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +50,8 @@
 #include "common/json.hpp"
 
 namespace cr {
+
+class CellCache;  // src/dist/cell_cache.hpp
 
 /// One expanded grid point: a single bench invocation.
 struct SuiteCell {
@@ -124,11 +127,57 @@ struct SuiteRunOptions {
   bool force = false;          ///< rerun cells whose CSV already exists
   std::int64_t threads = 0;    ///< per-cell --threads; 0 = bench default (all cores)
   bool dry_run = false;        ///< print the plan, run nothing, write nothing
+  std::string cache_dir;       ///< CellCache directory; empty = no cache
 };
 
 /// Execute (or, with dry_run, print) the suite. Progress goes to `log`.
 /// Returns 0 when every cell succeeded, 1 when any failed.
 int run_suite(const SuiteSpec& spec, const SuiteRunOptions& opts, std::ostream& log);
+
+/// Options for executing ONE cell (the unit both `cr suite run` and the
+/// `cr suite work` worker loop share).
+struct CellRunOptions {
+  std::string out_dir;  ///< where <cell id>.csv lands
+  bool quick = false;
+  std::int64_t threads = 0;     ///< 0 = bench default
+  CellCache* cache = nullptr;   ///< optional content-addressed result cache
+  std::string config_hash;      ///< suite_config_hash; required when cache set
+  std::string git_sha;          ///< audit metadata for cache stores
+};
+
+/// Outcome of run_cell.
+struct CellRunResult {
+  std::string status;      ///< "ok" (computed) | "hit" (cache) | "failed"
+  double seconds = 0.0;
+  std::string csv_fnv;     ///< 16-hex FNV-1a of the CSV bytes; empty on failure
+  std::string cache_note;  ///< non-empty when a corrupt cache entry was rejected
+};
+
+/// Execute one cell: consult the cache (when configured), otherwise run the
+/// bench in a forked child writing to a WORKER-UNIQUE tmp path
+/// (<csv>.tmp-<pid>-<random>), then atomically rename into place — two
+/// workers racing the same out_dir can never observe each other's partial
+/// writes. A fresh result is stored back into the cache. A cache hit
+/// restores the CSV byte-identically to recomputation (determinism rule 9).
+CellRunResult run_cell(const SuiteCell& cell, const CellRunOptions& opts);
+
+/// What an output directory already contains, per its manifest*.json files.
+struct PriorOutputs {
+  bool compatible = true;  ///< false: a manifest records a different config
+  std::string message;     ///< why, when !compatible
+  /// Recorded per-cell CSV checksums (cell id -> 16-hex FNV-1a) from every
+  /// compatible manifest — what resume validates same-named CSVs against.
+  std::map<std::string, std::string> cell_csv_fnv;
+};
+
+/// Scan `out_dir` for manifest*.json files and compare their recorded
+/// config_hash/--quick mode against this run's; collects recorded per-cell
+/// CSV checksums from compatible manifests along the way.
+PriorOutputs scan_prior_outputs(const std::string& out_dir, const std::string& config_hash,
+                                bool quick);
+
+/// 16-hex FNV-1a 64 of a file's bytes; empty string when unreadable.
+std::string file_fnv16(const std::string& path);
 
 /// FNV-1a over the canonical full expansion (bench, flags, seed per cell) —
 /// shard-independent, hex-formatted. Stored in the run manifest so outputs

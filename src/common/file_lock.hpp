@@ -1,0 +1,66 @@
+/// \file
+/// Atomic lease files: the coordination primitive behind `cr suite work`.
+///
+/// A lease is a small text file created with O_CREAT|O_EXCL — the one
+/// filesystem operation that is atomic on local disks AND on the shared
+/// mounts (NFS with proper O_EXCL semantics) multi-host workers coordinate
+/// over. Exactly one process can create a given lease path; everyone else
+/// gets EEXIST and moves on to other work.
+///
+/// The lease body records who holds it (`pid@host`, plus the claimed name
+/// and a wall-clock stamp) so a worker that finds a lease can decide whether
+/// the holder is still alive:
+///
+///   * same host, dead PID (kill(pid, 0) == ESRCH)  -> stale, take over;
+///   * different host                               -> liveness is
+///     unknowable via PIDs; stale only when the caller opts into an age
+///     threshold (stale_after_seconds > 0) and the lease file's mtime is
+///     older than that.
+///
+/// Takeover is unlink-then-retry-acquire: if two workers race the takeover,
+/// both may unlink (the second gets ENOENT, fine) but O_EXCL guarantees at
+/// most one wins the re-acquire. A worker that crashes mid-cell leaves its
+/// lease behind; the dead-PID rule is what lets the remaining workers
+/// reclaim and rerun that cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cr {
+
+/// Parsed lease body.
+struct LeaseInfo {
+  std::int64_t pid = 0;
+  std::string host;
+  std::string name;         ///< what the lease claims (the cell id)
+  std::string started_utc;  ///< informational wall-clock stamp
+};
+
+/// This machine's hostname ("unknown-host" if unavailable); cached.
+const std::string& lease_hostname();
+
+/// True iff `pid` is a live process on THIS host (kill(pid, 0) semantics:
+/// EPERM still counts as alive).
+bool process_alive(std::int64_t pid);
+
+/// Try to create `path` with O_CREAT|O_EXCL and write this process's
+/// LeaseInfo (claiming `name`). Returns true iff this process now holds the
+/// lease. False on EEXIST (someone else holds it) or any I/O error.
+bool lease_try_acquire(const std::string& path, const std::string& name);
+
+/// Read and parse a lease file. Returns false when the file is missing or
+/// malformed (a malformed lease is treated as stale by callers).
+bool lease_read(const std::string& path, LeaseInfo* out);
+
+/// Decide staleness of an existing lease: malformed body, same-host dead
+/// PID, or (when stale_after_seconds > 0) an mtime older than the threshold
+/// regardless of host. A missing file returns false — nothing to take over.
+bool lease_is_stale(const std::string& path, double stale_after_seconds);
+
+/// Release (unlink) a lease this process holds. Unlinking a lease held by
+/// someone else is the takeover path — callers must have checked
+/// lease_is_stale first.
+void lease_release(const std::string& path);
+
+}  // namespace cr

@@ -1,0 +1,55 @@
+/// \file
+/// `cr suite work`: the cooperative worker loop of the distributed runner.
+///
+/// N workers — separate processes on one machine, ssh hosts on a shared
+/// mount, or CI matrix jobs — all point at the SAME manifest, output
+/// directory and (optionally) CellCache, and drain the suite together with
+/// no coordinator process:
+///
+///   1. a worker scans the expansion; a cell whose CSV already exists is
+///      someone's finished work ("peer");
+///   2. otherwise it tries to claim `<out>/.locks/<cell id>.lease` via
+///      atomic O_CREAT|O_EXCL (common/file_lock). Exactly one worker wins;
+///      the rest move on — no cell is ever computed twice concurrently;
+///   3. the winner executes the cell through the same run_cell() path as
+///      `cr suite run` (cache lookup, forked child, worker-unique tmp +
+///      rename) and releases the lease;
+///   4. a lease whose holder died (same-host dead PID, or — opt-in — an
+///      mtime older than --stale_after on any host) is taken over and the
+///      cell rerun, so a SIGKILLed worker costs one cell of rework, never a
+///      wedged suite;
+///   5. a cell that FAILS writes `<out>/.locks/<cell id>.failed` so other
+///      workers record the failure instead of retrying a deterministic
+///      error forever.
+///
+/// Each worker exits once every cell is terminal, writing its own run
+/// manifest `manifest.work-<host>-<pid>-<rand>.json` (same schema as
+/// `cr suite run`, per-cell csv_fnv included) for `cr suite merge` to union
+/// into the single manifest `cr verify` consumes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "cli/suite.hpp"
+
+namespace cr {
+
+struct WorkerOptions {
+  std::string output_dir;  ///< override; empty = spec's default
+  std::string cache_dir;   ///< CellCache directory; empty = no cache
+  bool quick = false;
+  std::int64_t threads = 0;
+  /// Foreign-host leases older than this many seconds are treated as stale
+  /// (0 = never; same-host staleness is always detected via dead PIDs).
+  double stale_after_seconds = 0.0;
+  int poll_ms = 50;  ///< sleep between passes when only live peers hold work
+};
+
+/// Run the worker loop to completion. Returns 0 when every cell in the
+/// suite ended in a success status (whoever produced it), 1 when any cell
+/// failed or the output directory holds incompatible prior outputs.
+int run_worker(const SuiteSpec& spec, const WorkerOptions& opts, std::ostream& log);
+
+}  // namespace cr

@@ -344,7 +344,8 @@ TEST_F(SuiteRunTest, FailedCellIsIsolatedAndRemainingCellsStillRun) {
   EXPECT_EQ(run_suite(loaded.spec, options(), log), 1);
   EXPECT_EQ(csv_contents().size(), 1u);  // the good cell's CSV exists
   EXPECT_NE(log.str().find("failed"), std::string::npos) << log.str();
-  EXPECT_NE(log.str().find("1 ran, 0 cached, 1 failed"), std::string::npos) << log.str();
+  EXPECT_NE(log.str().find("1 ran, 0 cached, 0 cache hits, 1 failed"), std::string::npos)
+      << log.str();
   const auto manifest = JsonValue::parse_file((dir_ / "manifest.json").string());
   ASSERT_TRUE(manifest.ok()) << manifest.error;
   EXPECT_EQ(manifest.value->find("cells")->items()[0]->find("status")->as_string(), "failed");
